@@ -1,0 +1,60 @@
+"""DIRECT failure regime (the missing data points of Figure 5).
+
+In the paper, DIRECT fails on several Galaxy queries when CPLEX exhausts the
+available memory, while SKETCHREFINE keeps answering because each of its
+sub-problems stays small.  The solver substrate reproduces that regime with a
+variable-capacity limit: this benchmark runs both methods against a capped
+solver and checks that DIRECT fails where SKETCHREFINE succeeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchmarkConfig, build_partitioning, run_method
+from repro.bench.reporting import render_table
+from repro.workloads.galaxy import galaxy_table, galaxy_workload
+
+
+@pytest.mark.benchmark(group="direct-failure")
+def test_direct_fails_where_sketchrefine_succeeds(benchmark, quick_config):
+    def run() -> list[dict]:
+        table = galaxy_table(quick_config.galaxy_rows, seed=quick_config.seed)
+        workload = galaxy_workload(table, seed=quick_config.seed)
+        # Capacity-limited solver for DIRECT only: the problem (one variable per
+        # tuple) exceeds the cap, as CPLEX's memory ceiling does in the paper.
+        capped = BenchmarkConfig(
+            galaxy_rows=quick_config.galaxy_rows,
+            seed=quick_config.seed,
+            solver_time_limit=quick_config.solver_time_limit,
+            solver_node_limit=quick_config.solver_node_limit,
+            direct_max_variables=quick_config.galaxy_rows // 2,
+        )
+        partitioning = build_partitioning(table, workload.workload_attributes, quick_config)
+        rows = []
+        for name in ("Q1", "Q5"):
+            workload_query = workload.query(name)
+            direct_run = run_method(table, workload_query, "direct", "galaxy", capped)
+            # SKETCHREFINE runs against the SAME capacity-limited solver: its
+            # sub-problems (one group at a time) stay under the cap.
+            sketch_run = run_method(
+                table, workload_query, "sketchrefine", "galaxy", capped,
+                partitioning=partitioning,
+            )
+            rows.append(
+                {
+                    "query": name,
+                    "direct": "FAIL (capacity)" if direct_run.failed else f"{direct_run.wall_seconds:.2f}s",
+                    "sketchrefine": "FAIL" if sketch_run.failed else f"{sketch_run.wall_seconds:.2f}s",
+                    "direct_failed": direct_run.failed,
+                    "sketch_failed": sketch_run.failed,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="DIRECT failure regime (capacity-limited solver)"))
+    for row in rows:
+        assert row["direct_failed"], "DIRECT should exceed the capacity limit"
+        assert not row["sketch_failed"], "SKETCHREFINE sub-problems stay within capacity"

@@ -1,0 +1,40 @@
+"""Figure 1: naïve SQL self-join formulation vs ILP formulation.
+
+The paper shows the SQL-style evaluation exploding exponentially with the
+package cardinality while the ILP formulation stays flat.  The benchmark
+regenerates the two runtime series and asserts the qualitative shape: the
+self-join baseline degrades super-linearly and is eventually slower than the
+ILP route by a wide margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import figure1_sql_vs_ilp
+from repro.bench.reporting import render_table
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_sql_vs_ilp(benchmark, quick_config):
+    result = benchmark.pedantic(
+        figure1_sql_vs_ilp,
+        kwargs={"num_tuples": 60, "cardinalities": (1, 2, 3, 4), "config": quick_config},
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.tables["figure1_rows"]
+    print()
+    print(render_table(rows, title="Figure 1 — runtime vs package cardinality"))
+
+    naive = {r["cardinality"]: r["seconds"] for r in rows if r["method"] == "SQL self-join" and not r["failed"]}
+    ilp = {r["cardinality"]: r["seconds"] for r in rows if r["method"] == "ILP formulation" and not r["failed"]}
+    assert naive and ilp
+
+    # The self-join runtime must grow much faster than the ILP runtime: at the
+    # largest common cardinality the SQL plan should be at least 10x slower.
+    largest = max(set(naive) & set(ilp))
+    assert naive[largest] > 10 * ilp[largest]
+    # ...and the SQL plan's own growth from k=1 to the largest k must be
+    # super-linear (the paper's exponential blow-up).
+    assert naive[largest] > 20 * max(naive[1], 1e-4)

@@ -1,0 +1,50 @@
+"""Figures 3 and 4: per-query TPC-H table sizes and offline partitioning time.
+
+Figure 3 is a table of the per-query tuple counts after projecting away rows
+with NULLs on the query attributes; Figure 4 reports the one-time offline
+partitioning cost for both datasets (workload attributes, τ = 10 %, no radius
+condition).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import figure3_tpch_sizes, figure4_partitioning_time
+from repro.bench.reporting import render_table
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_tpch_query_table_sizes(benchmark, bench_config):
+    result = benchmark.pedantic(
+        figure3_tpch_sizes, kwargs={"config": bench_config}, rounds=1, iterations=1
+    )
+    rows = result.tables["figure3_rows"]
+    print()
+    print(render_table(rows, title="Figure 3 — per-query table sizes (TPC-H)"))
+
+    assert len(rows) == 7
+    sizes = [r["tuples"] for r in rows]
+    # Every projection is non-empty and no projection exceeds the pre-joined table.
+    assert all(size > 0 for size in sizes)
+    assert all(r["fraction_of_prejoined"] <= 1.0 for r in rows)
+    # The paper's shape: the per-query sizes differ because different source
+    # relations contribute different NULL patterns (Q5 is much smaller than Q1).
+    assert max(sizes) > 1.5 * min(sizes)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_offline_partitioning_time(benchmark, bench_config):
+    result = benchmark.pedantic(
+        figure4_partitioning_time, kwargs={"config": bench_config}, rounds=1, iterations=1
+    )
+    rows = result.tables["figure4_rows"]
+    print()
+    print(render_table(rows, title="Figure 4 — offline partitioning time"))
+
+    assert {r["dataset"] for r in rows} == {"galaxy", "tpch"}
+    for row in rows:
+        # Partitioning terminates, respects the size threshold and is fast
+        # relative to the workload it amortises over.
+        assert row["num_groups"] >= 1
+        assert row["partitioning_seconds"] < 60.0

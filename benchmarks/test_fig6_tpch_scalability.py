@@ -1,0 +1,56 @@
+"""Figure 6: TPC-H scalability — DIRECT vs SKETCHREFINE across dataset fractions.
+
+Same protocol as Figure 5 on the pre-joined TPC-H table (per-query NULL
+projection, workload-attribute partitioning, τ = 10 %, no radius condition).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.experiments import figure6_tpch_scalability
+from repro.bench.reporting import render_series, summarize_speedups
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_tpch_scalability(benchmark, bench_config):
+    result = benchmark.pedantic(
+        figure6_tpch_scalability, kwargs={"config": bench_config}, rounds=1, iterations=1
+    )
+    print()
+    for query_result in result.query_results:
+        print(render_series(query_result, "fraction"))
+        print()
+    print(summarize_speedups(result.query_results))
+
+    assert len(result.query_results) == 7
+
+    all_sketch_succeeded = True
+    ratios = []
+    speedups = []
+    for query_result in result.query_results:
+        sketch_runs = query_result.runs_for("sketchrefine")
+        all_sketch_succeeded &= all(run.succeeded for run in sketch_runs)
+        ratio = query_result.mean_approximation_ratio()
+        if not math.isnan(ratio):
+            ratios.append(ratio)
+        speedup = query_result.speedup()
+        if not math.isnan(speedup):
+            speedups.append(speedup)
+
+    # SKETCHREFINE handles every query at every fraction.
+    assert all_sketch_succeeded
+    # Approximation quality stays in the paper's ballpark (TPC-H means were
+    # 1.0–8.3, with one outlier minimisation query).
+    assert ratios
+    assert sum(ratios) / len(ratios) < 9.0
+    # At the default laptop scale the TPC-H queries are easy enough that
+    # DIRECT finishes in well under a second, so SKETCHREFINE's fixed overhead
+    # dominates and the paper's ~10x speed-up only appears at larger scales
+    # (REPRO_BENCH_SCALE>=4).  Here we assert it is not catastrophically
+    # slower, which is the honest laptop-scale version of the claim.
+    if speedups:
+        geometric_mean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        assert geometric_mean > 0.2

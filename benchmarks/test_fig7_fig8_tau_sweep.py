@@ -1,0 +1,63 @@
+"""Figures 7 and 8: impact of the partition size threshold τ on SKETCHREFINE.
+
+The paper sweeps τ from a few large partitions to many small ones and finds a
+"sweet spot": extreme values of τ (either end) make SKETCHREFINE no better —
+or worse — than DIRECT, while intermediate values give the order-of-magnitude
+win, and the approximation ratio stays low throughout.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.experiments import figure7_galaxy_tau_sweep, figure8_tpch_tau_sweep
+from repro.bench.reporting import render_series
+
+
+_THRESHOLDS = (0.5, 0.25, 0.10, 0.04)
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_galaxy_tau_sweep(benchmark, quick_config):
+    result = benchmark.pedantic(
+        figure7_galaxy_tau_sweep,
+        kwargs={"config": quick_config, "fraction": 0.5, "thresholds": _THRESHOLDS},
+        rounds=1,
+        iterations=1,
+    )
+    _check_tau_sweep(result, "size_threshold")
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_tpch_tau_sweep(benchmark, quick_config):
+    result = benchmark.pedantic(
+        figure8_tpch_tau_sweep,
+        kwargs={"config": quick_config, "thresholds": _THRESHOLDS},
+        rounds=1,
+        iterations=1,
+    )
+    _check_tau_sweep(result, "size_threshold")
+
+
+def _check_tau_sweep(result, parameter: str) -> None:
+    print()
+    for query_result in result.query_results:
+        print(render_series(query_result, parameter))
+        print()
+
+    assert len(result.query_results) == 7
+    ratios = []
+    for query_result in result.query_results:
+        sketch_runs = query_result.runs_for("sketchrefine")
+        # Every τ value produces an answer.
+        assert all(run.succeeded for run in sketch_runs), query_result.query_name
+        # τ changes the runtime but not the ability to answer; collect ratios.
+        ratio = query_result.mean_approximation_ratio()
+        if not math.isnan(ratio):
+            ratios.append(ratio)
+    # The paper's observation: τ has a major impact on runtime but almost none
+    # on quality — the mean approximation ratio stays small across the sweep.
+    assert ratios
+    assert sum(ratios) / len(ratios) < 9.0

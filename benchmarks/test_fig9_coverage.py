@@ -1,0 +1,47 @@
+"""Figure 9: effect of partitioning coverage on SKETCHREFINE's runtime.
+
+Coverage is (number of partitioning attributes) / (number of query
+attributes).  The paper finds that partitioning on a superset of the query
+attributes (coverage > 1) keeps or improves performance, while partitioning on
+a strict subset (coverage < 1) tends to slow queries down — which is what
+makes a single offline partitioning on the workload (or all) attributes a safe
+default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import figure9_coverage
+from repro.bench.reporting import render_table
+
+
+@pytest.mark.benchmark(group="figure9")
+@pytest.mark.parametrize("dataset,query_name", [("galaxy", "Q5"), ("tpch", "Q3")])
+def test_figure9_partitioning_coverage(benchmark, quick_config, dataset, query_name):
+    result = benchmark.pedantic(
+        figure9_coverage,
+        kwargs={
+            "config": quick_config,
+            "dataset": dataset,
+            "query_name": query_name,
+            "coverages": (0.5, 1.0, 2.0, 4.0) if dataset == "galaxy" else (0.5, 1.0, 2.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.tables["figure9_rows"]
+    print()
+    print(render_table(rows, title=f"Figure 9 — coverage sweep ({dataset} {query_name})"))
+
+    assert all(not row["failed"] for row in rows)
+    by_coverage = {row["coverage"]: row for row in rows}
+    assert 1.0 in by_coverage
+
+    # Robustness claim: partitioning on a superset of the query attributes
+    # never makes the query catastrophically slower than coverage 1 (the paper
+    # reports it usually makes it faster; we allow noise at laptop scale).
+    baseline = by_coverage[1.0]["seconds"]
+    for coverage, row in by_coverage.items():
+        if coverage >= 1.0 and baseline > 0:
+            assert row["seconds"] / baseline < 10.0

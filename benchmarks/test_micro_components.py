@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the individual substrates.
+
+Not a paper artefact, but useful for tracking the cost of each pipeline stage
+independently: PaQL parsing, PaQL→ILP translation, base-relation filtering,
+LP relaxation solving, full ILP solving, quad-tree partitioning and the
+SKETCH phase on its own.  These run as normal repeated pytest-benchmark
+measurements (unlike the figure drivers, which run once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base_relations import compute_base_relation
+from repro.core.direct import DirectEvaluator
+from repro.core.translator import translate_query
+from repro.db.expressions import col
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
+from repro.ilp.lp_backend import solve_lp
+from repro.paql.parser import parse_paql
+from repro.partition.quadtree import QuadTreePartitioner
+from repro.workloads.galaxy import galaxy_table, galaxy_workload
+from repro.workloads.recipes import MEAL_PLANNER_PAQL, recipes_table
+
+
+@pytest.fixture(scope="module")
+def galaxy_fixture():
+    table = galaxy_table(800, seed=42)
+    workload = galaxy_workload(table, seed=42)
+    return table, workload
+
+
+@pytest.mark.benchmark(group="micro-paql")
+def test_parse_paql_speed(benchmark):
+    query = benchmark(parse_paql, MEAL_PLANNER_PAQL)
+    assert query.relation == "recipes"
+
+
+@pytest.mark.benchmark(group="micro-translate")
+def test_translate_query_speed(benchmark, galaxy_fixture):
+    table, workload = galaxy_fixture
+    query = workload.query("Q1").query
+    translation = benchmark(translate_query, table, query)
+    assert translation.num_variables == table.num_rows
+
+
+@pytest.mark.benchmark(group="micro-base-relation")
+def test_base_relation_speed(benchmark):
+    table = recipes_table(2000, seed=3)
+    query = parse_paql(MEAL_PLANNER_PAQL)
+    base = benchmark(compute_base_relation, table, query)
+    assert 0 < base.num_eligible < table.num_rows
+
+
+@pytest.mark.benchmark(group="micro-lp")
+def test_lp_relaxation_speed(benchmark, galaxy_fixture):
+    table, workload = galaxy_fixture
+    translation = translate_query(table, workload.query("Q5").query)
+    solution = benchmark(solve_lp, translation.model)
+    assert solution.has_solution
+
+
+@pytest.mark.benchmark(group="micro-ilp")
+def test_ilp_solve_speed(benchmark, galaxy_fixture):
+    table, workload = galaxy_fixture
+    query = workload.query("Q5").query
+    solver = BranchAndBoundSolver(limits=SolverLimits(relative_gap=1e-3, node_limit=2000))
+    evaluator = DirectEvaluator(solver=solver)
+    package = benchmark.pedantic(
+        evaluator.evaluate, args=(table, query), rounds=3, iterations=1
+    )
+    assert package.cardinality == 3
+
+
+@pytest.mark.benchmark(group="micro-partition")
+def test_quadtree_partitioning_speed(benchmark, galaxy_fixture):
+    table, workload = galaxy_fixture
+    partitioner = QuadTreePartitioner(size_threshold=max(1, table.num_rows // 10))
+    partitioning = benchmark.pedantic(
+        partitioner.partition, args=(table, workload.workload_attributes), rounds=3, iterations=1
+    )
+    assert partitioning.satisfies_size_threshold(max(1, table.num_rows // 10))
+
+
+@pytest.mark.benchmark(group="micro-expressions")
+def test_predicate_evaluation_speed(benchmark):
+    table = recipes_table(5000, seed=3)
+    predicate = (col("gluten") == "free") & (col("kcal") < 1.0) & (col("protein") >= 10)
+    mask = benchmark(predicate.evaluate, table)
+    assert mask.dtype == np.bool_

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A tour of the PaQL language features.
+
+Walks through every language construct of Section 2.1 of the paper on a small
+recipes table: base vs global predicates, REPEAT, BETWEEN windows, filtered
+sub-query aggregates, AVG linearisation, maximisation and minimisation
+objectives, and what happens when a query is infeasible.
+
+Run with::
+
+    python examples/paql_tour.py
+"""
+
+from repro import PackageQueryEngine
+from repro.errors import InfeasiblePackageQueryError
+from repro.paql import format_paql, parse_paql
+from repro.workloads.recipes import recipes_table
+
+
+QUERIES = {
+    "Strict cardinality + BETWEEN window (the running example)": """
+        SELECT PACKAGE(R) AS P
+        FROM recipes R REPEAT 0
+        WHERE R.gluten = 'free'
+        SUCH THAT COUNT(P.*) = 3 AND
+                  SUM(P.kcal) BETWEEN 2.0 AND 2.5
+        MINIMIZE SUM(P.saturated_fat)
+    """,
+    "Repetition allowed (REPEAT 2): a favourite dish may appear up to 3 times": """
+        SELECT PACKAGE(R) AS P
+        FROM recipes R REPEAT 2
+        SUCH THAT COUNT(P.*) = 5 AND
+                  SUM(P.kcal) <= 4.0
+        MAXIMIZE SUM(P.protein)
+    """,
+    "AVG constraint (linearised during translation)": """
+        SELECT PACKAGE(R) AS P
+        FROM recipes R REPEAT 0
+        SUCH THAT COUNT(P.*) BETWEEN 3 AND 6 AND
+                  AVG(P.kcal) <= 0.9
+        MAXIMIZE SUM(P.protein)
+    """,
+    "Filtered sub-query aggregates (the paper's carbs/protein example)": """
+        SELECT PACKAGE(R) AS P
+        FROM recipes R REPEAT 0
+        WHERE R.gluten = 'free'
+        SUCH THAT COUNT(P.*) = 4 AND
+                  (SELECT COUNT(*) FROM P WHERE P.carbs > 30) >=
+                  (SELECT COUNT(*) FROM P WHERE P.protein <= 10)
+        MINIMIZE SUM(P.saturated_fat)
+    """,
+    "An infeasible query (calorie window no 3 meals can hit)": """
+        SELECT PACKAGE(R) AS P
+        FROM recipes R REPEAT 0
+        SUCH THAT COUNT(P.*) = 3 AND
+                  SUM(P.kcal) BETWEEN 90.0 AND 95.0
+        MINIMIZE SUM(P.saturated_fat)
+    """,
+}
+
+
+def main() -> None:
+    engine = PackageQueryEngine()
+    engine.register_table(recipes_table(num_rows=200, seed=13))
+
+    for title, text in QUERIES.items():
+        print(f"=== {title} ===")
+        query = parse_paql(text)
+        print(format_paql(query))
+        try:
+            result = engine.execute(query, method="direct")
+        except InfeasiblePackageQueryError:
+            print("-> the engine correctly reports this query as INFEASIBLE")
+            print()
+            continue
+        package = result.package
+        print(
+            f"-> package of {package.cardinality} tuples "
+            f"({package.num_distinct} distinct), objective = {result.objective:.3f}, "
+            f"feasible = {result.feasible}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

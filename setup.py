@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e .``) work on environments whose
+setuptools cannot build PEP 660 editable wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — a reproduction of "Scalable Package Queries in Relational Database Systems".
+
+The package implements the paper's full stack in pure Python:
+
+* :mod:`repro.dataset` / :mod:`repro.db` — the columnar storage and relational
+  substrate (stand-in for PostgreSQL),
+* :mod:`repro.paql` — the PaQL language (parser, AST, validator, builder),
+* :mod:`repro.ilp` — the LP/ILP solving substrate (stand-in for CPLEX),
+* :mod:`repro.core` — the PaQL→ILP translation and the DIRECT / SKETCHREFINE
+  evaluation strategies,
+* :mod:`repro.partition` — offline quad-tree (and alternative) partitioning,
+* :mod:`repro.workloads` — synthetic Galaxy and TPC-H style datasets and the
+  benchmark query workloads,
+* :mod:`repro.bench` — the experiment harness reproducing every figure and
+  table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import PackageQueryEngine
+    from repro.workloads.recipes import recipes_table, MEAL_PLANNER_PAQL
+
+    engine = PackageQueryEngine()
+    engine.register_table(recipes_table(seed=7))
+    result = engine.execute(MEAL_PLANNER_PAQL)
+    print(result.materialize().to_dict())
+"""
+
+from repro.core.engine import EvaluationMethod, EvaluationResult, PackageQueryEngine
+from repro.core.package import Package
+from repro.dataset.table import Table
+from repro.db.catalog import Database
+from repro.paql.builder import query_over
+from repro.paql.parser import parse_paql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PackageQueryEngine",
+    "EvaluationMethod",
+    "EvaluationResult",
+    "Package",
+    "Table",
+    "Database",
+    "parse_paql",
+    "query_over",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Benchmark harness reproducing every table and figure of the paper's evaluation.
+
+The modules here are intentionally thin, deterministic drivers around the core
+library:
+
+* :mod:`repro.bench.results` — result records and small statistics helpers,
+* :mod:`repro.bench.harness` — generic runners (evaluate a workload query with
+  one method, with timing and failure capture),
+* :mod:`repro.bench.experiments` — one function per paper artefact (Figure 1,
+  Figures 3–9, plus the radius and approximation-bound ablations),
+* :mod:`repro.bench.reporting` — text rendering of the result series in the
+  same shape as the paper's figures/tables.
+
+The pytest-benchmark files under ``benchmarks/`` call into these functions so
+``pytest benchmarks/ --benchmark-only`` regenerates every artefact.
+"""
+
+from repro.bench.results import MethodRun, QueryScalingResult, ExperimentResult
+from repro.bench.harness import BenchmarkConfig, run_method, scaled_fractions
+from repro.bench.experiments import (
+    figure1_sql_vs_ilp,
+    figure3_tpch_sizes,
+    figure4_partitioning_time,
+    figure5_galaxy_scalability,
+    figure6_tpch_scalability,
+    figure7_galaxy_tau_sweep,
+    figure8_tpch_tau_sweep,
+    figure9_coverage,
+    radius_ablation,
+    approximation_bound_study,
+    partitioner_comparison,
+)
+from repro.bench.reporting import render_table, render_series
+
+__all__ = [
+    "MethodRun",
+    "QueryScalingResult",
+    "ExperimentResult",
+    "BenchmarkConfig",
+    "run_method",
+    "scaled_fractions",
+    "figure1_sql_vs_ilp",
+    "figure3_tpch_sizes",
+    "figure4_partitioning_time",
+    "figure5_galaxy_scalability",
+    "figure6_tpch_scalability",
+    "figure7_galaxy_tau_sweep",
+    "figure8_tpch_tau_sweep",
+    "figure9_coverage",
+    "radius_ablation",
+    "approximation_bound_study",
+    "partitioner_comparison",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,218 @@
+"""The user-facing package-query engine facade.
+
+:class:`PackageQueryEngine` ties everything together the way the paper's
+prototype sits on top of PostgreSQL + CPLEX:
+
+* tables live in a :class:`~repro.db.catalog.Database` catalog,
+* offline partitionings are built once per table and registered in the catalog,
+* queries arrive either as PaQL text or as :class:`~repro.paql.ast.PackageQuery`
+  objects built with the fluent builder,
+* evaluation picks DIRECT, SKETCHREFINE or the naïve baseline, and the result
+  is returned with timing, feasibility and objective metadata.
+
+Example::
+
+    engine = PackageQueryEngine()
+    engine.register_table(recipes)
+    engine.build_partitioning("recipes", ["kcal", "saturated_fat"], size_threshold=50)
+    result = engine.execute(PAQL_TEXT, method="sketchrefine")
+    print(result.package.materialize())
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.core.direct import DirectEvaluator
+from repro.core.naive import NaiveSelfJoinEvaluator
+from repro.core.package import Package
+from repro.core.sketchrefine import SketchRefineConfig, SketchRefineEvaluator
+from repro.core.validation import check_package, objective_value
+from repro.dataset.table import Table
+from repro.db.catalog import Database
+from repro.errors import CatalogError, EvaluationError
+from repro.paql.ast import PackageQuery
+from repro.paql.parser import parse_paql
+from repro.paql.validator import validate_query
+from repro.partition.kdtree import KdTreePartitioner
+from repro.partition.kmeans import KMeansPartitioner
+from repro.partition.partitioning import Partitioning
+from repro.partition.quadtree import QuadTreePartitioner
+
+
+class EvaluationMethod(enum.Enum):
+    """Which evaluation strategy to use."""
+
+    AUTO = "auto"
+    DIRECT = "direct"
+    SKETCH_REFINE = "sketchrefine"
+    NAIVE = "naive"
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one package query."""
+
+    package: Package
+    query: PackageQuery
+    method: EvaluationMethod
+    objective: float
+    wall_seconds: float
+    feasible: bool
+    details: dict = field(default_factory=dict)
+
+    def materialize(self, name: str = "package") -> Table:
+        """Materialise the answer package as a relational table."""
+        return self.package.materialize(name)
+
+
+class PackageQueryEngine:
+    """Facade over the catalog, the PaQL front-end and the evaluators."""
+
+    # SKETCHREFINE needs a partitioning; below this many tuples DIRECT is used
+    # by AUTO regardless, because the whole problem comfortably fits the solver.
+    _AUTO_DIRECT_THRESHOLD = 2_000
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        solver=None,
+        sketchrefine_config: SketchRefineConfig | None = None,
+    ):
+        self.database = database or Database()
+        self._solver = solver
+        self._direct = DirectEvaluator(solver=solver)
+        self._sketchrefine = SketchRefineEvaluator(solver=solver, config=sketchrefine_config)
+        self._naive = NaiveSelfJoinEvaluator()
+
+    # -- catalog management ---------------------------------------------------------------
+
+    def register_table(self, table: Table, name: str | None = None, replace: bool = False) -> Table:
+        """Add a table to the engine's catalog."""
+        return self.database.create_table(table, name=name, replace=replace)
+
+    def table(self, name: str) -> Table:
+        """Fetch a table from the catalog."""
+        return self.database.table(name)
+
+    def build_partitioning(
+        self,
+        table_name: str,
+        attributes: list[str],
+        size_threshold: int,
+        radius_limit: float | None = None,
+        method: str = "quadtree",
+        label: str = "default",
+    ) -> Partitioning:
+        """Build and register an offline partitioning for ``table_name``.
+
+        Args:
+            table_name: Catalog name of the table to partition.
+            attributes: Numeric partitioning attributes (ideally a superset of
+                the workload's query attributes, per Section 5.2.3).
+            size_threshold: τ — the per-group size cap.
+            radius_limit: ω — optional per-group radius cap (Equation 1).
+            method: ``"quadtree"`` (the paper's method), ``"kdtree"`` or
+                ``"kmeans"``.
+            label: Name under which the partitioning is registered, so several
+                partitionings of the same table can coexist.
+        """
+        table = self.database.table(table_name)
+        if method == "quadtree":
+            partitioner = QuadTreePartitioner(size_threshold, radius_limit)
+        elif method == "kdtree":
+            partitioner = KdTreePartitioner(size_threshold, radius_limit)
+        elif method == "kmeans":
+            partitioner = KMeansPartitioner(size_threshold)
+        else:
+            raise EvaluationError(f"unknown partitioning method {method!r}")
+        partitioning = partitioner.partition(table, attributes)
+        self.database.register_partitioning(table_name, partitioning, label=label)
+        return partitioning
+
+    def register_partitioning(
+        self, table_name: str, partitioning: Partitioning, label: str = "default"
+    ) -> None:
+        """Register a partitioning built elsewhere (e.g. loaded from disk)."""
+        self.database.register_partitioning(table_name, partitioning, label=label)
+
+    # -- query execution -----------------------------------------------------------------------
+
+    def parse(self, text: str) -> PackageQuery:
+        """Parse PaQL text (without validating it against a table)."""
+        return parse_paql(text)
+
+    def execute(
+        self,
+        query: str | PackageQuery,
+        method: EvaluationMethod | str = EvaluationMethod.AUTO,
+        partitioning_label: str = "default",
+    ) -> EvaluationResult:
+        """Evaluate a package query and return the answer package with metadata.
+
+        Args:
+            query: PaQL text or an already-built :class:`PackageQuery`.
+            method: Evaluation strategy; AUTO picks SKETCHREFINE when a
+                partitioning is registered and the table is large, otherwise
+                DIRECT.
+            partitioning_label: Which registered partitioning SKETCHREFINE uses.
+        """
+        if isinstance(query, str):
+            query = parse_paql(query)
+        if isinstance(method, str):
+            method = EvaluationMethod(method)
+
+        table = self.database.table(query.relation)
+        validate_query(query, table.schema)
+        method = self._resolve_method(method, query, partitioning_label)
+
+        start = time.perf_counter()
+        details: dict = {}
+        if method is EvaluationMethod.DIRECT:
+            package = self._direct.evaluate(table, query)
+            details["direct_stats"] = self._direct.last_stats
+        elif method is EvaluationMethod.SKETCH_REFINE:
+            partitioning = self._partitioning_for(query, partitioning_label)
+            package = self._sketchrefine.evaluate(table, query, partitioning)
+            details["sketchrefine_stats"] = self._sketchrefine.last_stats
+        elif method is EvaluationMethod.NAIVE:
+            package = self._naive.evaluate(table, query)
+            details["naive_stats"] = self._naive.last_stats
+        else:  # pragma: no cover - AUTO is resolved above
+            raise EvaluationError(f"unresolved evaluation method {method}")
+        wall_seconds = time.perf_counter() - start
+
+        report = check_package(package, query)
+        return EvaluationResult(
+            package=package,
+            query=query,
+            method=method,
+            objective=objective_value(package, query),
+            wall_seconds=wall_seconds,
+            feasible=report.feasible,
+            details=details,
+        )
+
+    # -- internals ----------------------------------------------------------------------------------
+
+    def _resolve_method(
+        self, method: EvaluationMethod, query: PackageQuery, partitioning_label: str
+    ) -> EvaluationMethod:
+        if method is not EvaluationMethod.AUTO:
+            return method
+        table = self.database.table(query.relation)
+        has_partitioning = self.database.has_partitioning(query.relation, partitioning_label)
+        if has_partitioning and table.num_rows > self._AUTO_DIRECT_THRESHOLD:
+            return EvaluationMethod.SKETCH_REFINE
+        return EvaluationMethod.DIRECT
+
+    def _partitioning_for(self, query: PackageQuery, label: str) -> Partitioning:
+        try:
+            return self.database.partitioning(query.relation, label)
+        except CatalogError as exc:
+            raise EvaluationError(
+                f"SKETCHREFINE needs an offline partitioning for table {query.relation!r}; "
+                "call build_partitioning() first"
+            ) from exc

@@ -1,0 +1,180 @@
+"""Naïve SQL-style baselines for package evaluation (Figure 1 of the paper).
+
+The paper motivates the ILP approach by showing that expressing package
+queries in plain SQL is hopeless: a strict-cardinality package of size ``k``
+needs a ``k``-way self-join whose cost grows exponentially with ``k``.
+
+Two baselines are provided:
+
+* :class:`NaiveSelfJoinEvaluator` — emulates the multi-way self-join plan:
+  it enumerates ordered combinations exactly the way a nested-loops self-join
+  with ``R1.pk < R2.pk < ...`` predicates would, checking the global
+  constraints on each candidate and keeping the best.  Only applicable to
+  strict-cardinality queries, as in the paper.
+* :class:`ExhaustiveSearchEvaluator` — a depth-first enumeration with simple
+  bound pruning, used in tests as an independent oracle for small instances
+  (it also supports repetition constraints).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base_relations import compute_base_relation
+from repro.core.package import Package
+from repro.core.validation import check_package, objective_value
+from repro.dataset.table import Table
+from repro.db.aggregates import AggregateFunction
+from repro.errors import EvaluationError, InfeasiblePackageQueryError
+from repro.paql.ast import ConstraintSenseKeyword, ObjectiveDirection, PackageQuery
+
+
+@dataclass
+class NaiveStats:
+    """Statistics from a naïve evaluation."""
+
+    candidates_examined: int = 0
+    total_seconds: float = 0.0
+
+
+class NaiveSelfJoinEvaluator:
+    """Exhaustive evaluation emulating the SQL self-join formulation."""
+
+    def __init__(self, max_candidates: int = 50_000_000):
+        self.max_candidates = max_candidates
+        self.last_stats = NaiveStats()
+
+    def evaluate(self, table: Table, query: PackageQuery) -> Package:
+        """Enumerate all cardinality-``k`` combinations and return the best package.
+
+        The query must pin the package cardinality with ``COUNT(P.*) = k``
+        (the only case expressible with SQL self-joins, as the paper notes).
+        """
+        start = time.perf_counter()
+        cardinality = _strict_cardinality(query)
+        base = compute_base_relation(table, query)
+        rows = base.eligible_indices
+
+        best_package: Package | None = None
+        best_objective = float("nan")
+        direction = query.objective.direction if query.objective else None
+
+        examined = 0
+        for combination in itertools.combinations(rows.tolist(), cardinality):
+            examined += 1
+            if examined > self.max_candidates:
+                raise EvaluationError(
+                    f"self-join enumeration exceeded {self.max_candidates} candidates"
+                )
+            candidate = Package(table, np.array(combination, dtype=np.int64))
+            if not check_package(candidate, query).feasible:
+                continue
+            value = objective_value(candidate, query)
+            if best_package is None or _improves(direction, value, best_objective):
+                best_package = candidate
+                best_objective = value
+
+        self.last_stats = NaiveStats(examined, time.perf_counter() - start)
+        if best_package is None:
+            raise InfeasiblePackageQueryError("no combination satisfies the package query")
+        return best_package
+
+
+class ExhaustiveSearchEvaluator:
+    """Depth-first enumeration over multiplicities, used as a test oracle.
+
+    Supports REPEAT constraints and unbounded-cardinality queries as long as a
+    cardinality upper bound can be derived from the constraints; intended only
+    for very small inputs.
+    """
+
+    def __init__(self, max_cardinality: int = 8):
+        self.max_cardinality = max_cardinality
+
+    def evaluate(self, table: Table, query: PackageQuery) -> Package:
+        base = compute_base_relation(table, query)
+        rows = base.eligible_indices.tolist()
+        per_tuple_cap = query.max_multiplicity or self.max_cardinality
+        cardinality_cap = min(self._cardinality_cap(query), self.max_cardinality)
+
+        best: tuple[float, dict[int, int]] | None = None
+        direction = query.objective.direction if query.objective else None
+
+        def recurse(position: int, chosen: dict[int, int], cardinality: int) -> None:
+            nonlocal best
+            if position == len(rows) or cardinality == cardinality_cap:
+                candidate = Package.from_multiplicity_map(table, chosen)
+                if not check_package(candidate, query).feasible:
+                    return
+                value = objective_value(candidate, query)
+                if best is None or _improves(direction, value, best[0]):
+                    best = (value, dict(chosen))
+                return
+            row = rows[position]
+            for multiplicity in range(0, per_tuple_cap + 1):
+                if cardinality + multiplicity > cardinality_cap:
+                    break
+                if multiplicity:
+                    chosen[row] = multiplicity
+                elif row in chosen:
+                    del chosen[row]
+                recurse(position + 1, chosen, cardinality + multiplicity)
+            chosen.pop(row, None)
+
+        recurse(0, {}, 0)
+        if best is None:
+            raise InfeasiblePackageQueryError("exhaustive search found no feasible package")
+        return Package.from_multiplicity_map(table, best[1])
+
+    def _cardinality_cap(self, query: PackageQuery) -> int:
+        """Derive an upper bound on package cardinality from COUNT constraints."""
+        cap = self.max_cardinality
+        for constraint in query.global_constraints:
+            terms = constraint.expression.terms
+            if len(terms) != 1:
+                continue
+            weight, aggregate = terms[0]
+            if aggregate.function is not AggregateFunction.COUNT or aggregate.filter is not None:
+                continue
+            if weight <= 0:
+                continue
+            if constraint.sense in (ConstraintSenseKeyword.LE, ConstraintSenseKeyword.EQ):
+                cap = min(cap, int(constraint.lower / weight))
+            elif constraint.sense is ConstraintSenseKeyword.BETWEEN:
+                cap = min(cap, int(constraint.upper / weight))
+        return cap
+
+
+def _strict_cardinality(query: PackageQuery) -> int:
+    """Extract the pinned cardinality ``k`` from ``COUNT(P.*) = k`` (or BETWEEN k AND k)."""
+    for constraint in query.global_constraints:
+        terms = constraint.expression.terms
+        if len(terms) != 1:
+            continue
+        weight, aggregate = terms[0]
+        if aggregate.function is not AggregateFunction.COUNT or aggregate.filter is not None:
+            continue
+        if weight != 1.0:
+            continue
+        if constraint.sense is ConstraintSenseKeyword.EQ:
+            return int(constraint.lower)
+        if constraint.sense is ConstraintSenseKeyword.BETWEEN and constraint.lower == constraint.upper:
+            return int(constraint.lower)
+    raise EvaluationError(
+        "the self-join formulation only applies to strict-cardinality queries "
+        "(add COUNT(P.*) = k)"
+    )
+
+
+def _improves(direction: ObjectiveDirection | None, value: float, incumbent: float) -> bool:
+    if direction is None:
+        return False  # Any feasible package is as good as any other.
+    if np.isnan(incumbent):
+        return True
+    if direction is ObjectiveDirection.MINIMIZE:
+        return value < incumbent
+    return value > incumbent

@@ -1,0 +1,221 @@
+"""The package answer object.
+
+A package is a multiset of tuples from the input relation (Section 2 of the
+paper).  :class:`Package` stores it compactly as parallel arrays of row
+indices and multiplicities, plus a reference to the source table so that
+aggregates and the objective can be re-evaluated, and so that the package can
+be materialised back into a relational :class:`~repro.dataset.table.Table`
+(the paper's "package as relation" representation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.db.aggregates import AggregateFunction
+from repro.errors import EvaluationError
+
+
+class Package:
+    """A multiset of tuples drawn from a source table."""
+
+    __slots__ = ("_table", "_indices", "_multiplicities")
+
+    def __init__(
+        self,
+        table: Table,
+        indices: np.ndarray | list[int],
+        multiplicities: np.ndarray | list[int] | None = None,
+    ):
+        indices = np.asarray(indices, dtype=np.int64)
+        if multiplicities is None:
+            multiplicities = np.ones(len(indices), dtype=np.int64)
+        else:
+            multiplicities = np.asarray(multiplicities, dtype=np.int64)
+        if indices.shape != multiplicities.shape:
+            raise EvaluationError("indices and multiplicities must have the same length")
+        if len(indices) and (indices.min() < 0 or indices.max() >= table.num_rows):
+            raise EvaluationError("package references a row outside the source table")
+        if (multiplicities < 0).any():
+            raise EvaluationError("multiplicities must be non-negative")
+        keep = multiplicities > 0
+        self._table = table
+        self._indices = indices[keep]
+        self._multiplicities = multiplicities[keep]
+
+    # -- construction ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, table: Table) -> "Package":
+        """The empty package over ``table``."""
+        return cls(table, np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def from_solution_values(cls, table: Table, values: np.ndarray, indices: np.ndarray) -> "Package":
+        """Build a package from ILP variable values.
+
+        Args:
+            table: The source relation.
+            values: Solver values, one per variable.
+            indices: For each variable, the source-table row it represents.
+        """
+        multiplicities = np.rint(np.asarray(values, dtype=np.float64)).astype(np.int64)
+        return cls(table, np.asarray(indices, dtype=np.int64), multiplicities)
+
+    @classmethod
+    def from_multiplicity_map(cls, table: Table, multiplicities: Mapping[int, int]) -> "Package":
+        """Build a package from a ``row index -> multiplicity`` mapping."""
+        if not multiplicities:
+            return cls.empty(table)
+        indices = np.array(sorted(multiplicities), dtype=np.int64)
+        counts = np.array([multiplicities[i] for i in indices], dtype=np.int64)
+        return cls(table, indices, counts)
+
+    # -- basic accessors -----------------------------------------------------------------
+
+    @property
+    def table(self) -> Table:
+        """The source relation this package draws tuples from."""
+        return self._table
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Distinct row indices present in the package."""
+        return self._indices
+
+    @property
+    def multiplicities(self) -> np.ndarray:
+        """Multiplicity of each row in :attr:`indices` (all >= 1)."""
+        return self._multiplicities
+
+    @property
+    def cardinality(self) -> int:
+        """Total number of tuples counting repetitions (COUNT(P.*))."""
+        return int(self._multiplicities.sum())
+
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct source rows in the package."""
+        return len(self._indices)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self._indices) == 0
+
+    @property
+    def max_multiplicity(self) -> int:
+        """Largest multiplicity of any tuple (0 for the empty package)."""
+        return int(self._multiplicities.max()) if len(self._multiplicities) else 0
+
+    def multiplicity_of(self, row_index: int) -> int:
+        """Return how many times source row ``row_index`` appears."""
+        positions = np.nonzero(self._indices == row_index)[0]
+        if not len(positions):
+            return 0
+        return int(self._multiplicities[positions[0]])
+
+    def as_multiplicity_map(self) -> dict[int, int]:
+        """Return the package as a ``row index -> multiplicity`` dict."""
+        return {int(i): int(m) for i, m in zip(self._indices, self._multiplicities)}
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over row indices, repeating each according to its multiplicity."""
+        for index, multiplicity in zip(self._indices, self._multiplicities):
+            for _ in range(int(multiplicity)):
+                yield int(index)
+
+    # -- aggregation ----------------------------------------------------------------------
+
+    def aggregate(
+        self,
+        function: AggregateFunction,
+        column: str | None = None,
+        row_mask: np.ndarray | None = None,
+    ) -> float:
+        """Compute an aggregate over the package.
+
+        Args:
+            function: COUNT, SUM, AVG, MIN or MAX.
+            column: Target column (ignored for COUNT).
+            row_mask: Optional boolean mask over the *source table* rows
+                restricting which tuples contribute (the sub-query filter
+                form of PaQL).
+        """
+        multiplicities = self._multiplicities.astype(np.float64)
+        if row_mask is not None:
+            selected = np.asarray(row_mask, dtype=bool)[self._indices]
+            multiplicities = multiplicities * selected
+        if function is AggregateFunction.COUNT:
+            return float(multiplicities.sum())
+        if column is None:
+            raise EvaluationError(f"{function.value} requires a column")
+        values = self._table.numeric_column(column)[self._indices]
+        if function is AggregateFunction.SUM:
+            return float(np.dot(values, multiplicities))
+        if function is AggregateFunction.AVG:
+            total = multiplicities.sum()
+            return float(np.dot(values, multiplicities) / total) if total else float("nan")
+        active = multiplicities > 0
+        if not active.any():
+            return float("nan")
+        return float(values[active].min() if function is AggregateFunction.MIN else values[active].max())
+
+    def sum(self, column: str) -> float:
+        """Shorthand for ``aggregate(SUM, column)``."""
+        return self.aggregate(AggregateFunction.SUM, column)
+
+    def count(self) -> float:
+        """Shorthand for ``aggregate(COUNT)``."""
+        return self.aggregate(AggregateFunction.COUNT)
+
+    # -- conversion ------------------------------------------------------------------------
+
+    def materialize(self, name: str = "package") -> Table:
+        """Materialise the package as a table with one row per tuple occurrence."""
+        expanded = np.repeat(self._indices, self._multiplicities)
+        return self._table.take(expanded, name=name)
+
+    def combine(self, other: "Package") -> "Package":
+        """Return the multiset union of this package with ``other``.
+
+        Both packages must reference the same source table.
+        """
+        if other._table is not self._table:
+            raise EvaluationError("cannot combine packages over different tables")
+        merged = self.as_multiplicity_map()
+        for index, multiplicity in other.as_multiplicity_map().items():
+            merged[index] = merged.get(index, 0) + multiplicity
+        return Package.from_multiplicity_map(self._table, merged)
+
+    def without_rows(self, row_indices: np.ndarray | list[int]) -> "Package":
+        """Return a copy of the package with all occurrences of the given rows removed."""
+        drop = set(int(i) for i in np.asarray(row_indices, dtype=np.int64))
+        kept = {i: m for i, m in self.as_multiplicity_map().items() if i not in drop}
+        return Package.from_multiplicity_map(self._table, kept)
+
+    def restricted_to_rows(self, row_indices: np.ndarray | list[int]) -> "Package":
+        """Return the sub-package containing only the given source rows."""
+        keep = set(int(i) for i in np.asarray(row_indices, dtype=np.int64))
+        kept = {i: m for i, m in self.as_multiplicity_map().items() if i in keep}
+        return Package.from_multiplicity_map(self._table, kept)
+
+    # -- equality / repr ---------------------------------------------------------------------
+
+    def same_contents(self, other: "Package") -> bool:
+        """Whether both packages contain exactly the same tuples with the same multiplicities."""
+        return (
+            self._table is other._table
+            and self.as_multiplicity_map() == other.as_multiplicity_map()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Package(cardinality={self.cardinality}, distinct={self.num_distinct}, "
+            f"table={self._table.name!r})"
+        )

@@ -1,0 +1,524 @@
+"""The SKETCHREFINE evaluation strategy (Section 4 of the paper).
+
+SKETCHREFINE answers a package query approximately in two phases over an
+offline partitioning of the input relation:
+
+* **SKETCH** — solve the query over the representative relation R̃ (one
+  centroid per group), with extra constraints capping how many times each
+  representative may be picked (at most ``|G_j| · (K + 1)`` for REPEAT K).
+  The resulting *sketch package* fixes how much of the answer should come
+  from each group.
+* **REFINE** — group by group, replace the chosen representatives with actual
+  tuples by solving a small ILP restricted to that group, whose constraint
+  bounds are shifted by the contribution of everything already decided (the
+  refined groups' tuples plus the other groups' representatives).  The order
+  of groups matters, so refinement uses the greedy backtracking of
+  Algorithm 2: when a group's refine query is infeasible, the failure is
+  propagated to the parent, failed groups are prioritised, and a different
+  order is tried.
+
+When the sketch itself is infeasible, the *hybrid sketch* mitigation of
+Section 4.4 is applied (matching the experimental setup in Section 5.1): the
+sketch is merged with one group's refine query, trying groups in turn, so a
+single awkward centroid cannot make the whole query look infeasible.
+
+The implementation shares the PaQL→ILP translation with DIRECT by linearising
+every global constraint once into per-tuple coefficient vectors
+(:func:`repro.core.translator.constraint_linear_rows`); the sketch uses the
+per-group *means* of those vectors (the centroid value of a linear function is
+the mean of its per-tuple values) and the refine step uses the vectors
+restricted to one group with residual right-hand sides.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base_relations import compute_base_relation
+from repro.core.package import Package
+from repro.core.translator import (
+    LinearConstraintRow,
+    constraint_linear_rows,
+    objective_linear,
+)
+from repro.dataset.table import Table
+from repro.errors import (
+    EvaluationError,
+    InfeasiblePackageQueryError,
+    SolverCapacityError,
+)
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.model import ConstraintSense, IlpModel
+from repro.ilp.status import SolverStatus
+from repro.paql.ast import PackageQuery
+from repro.partition.partitioning import Partitioning
+
+
+@dataclass
+class SketchRefineConfig:
+    """Tuning knobs for SKETCHREFINE."""
+
+    use_hybrid_sketch: bool = True
+    """Apply the Section 4.4 hybrid-sketch fallback when the sketch is infeasible."""
+
+    refine_order_seed: int = 0
+    """Seed for the (initially arbitrary) group refinement order of Algorithm 2."""
+
+    max_backtracks: int = 1000
+    """Safety cap on the number of backtracking steps before giving up."""
+
+
+@dataclass
+class SketchRefineStats:
+    """Timing and search statistics for one SKETCHREFINE evaluation."""
+
+    sketch_seconds: float = 0.0
+    refine_seconds: float = 0.0
+    total_seconds: float = 0.0
+    num_groups: int = 0
+    groups_in_sketch: int = 0
+    refine_queries: int = 0
+    backtracks: int = 0
+    used_hybrid_sketch: bool = False
+    sketch_objective: float = float("nan")
+
+
+@dataclass
+class _Linearisation:
+    """Per-tuple linear form of the query, computed once and reused everywhere."""
+
+    eligible_mask: np.ndarray          # Boolean mask over the full table.
+    constraint_rows: list[LinearConstraintRow]  # Coefficients over ALL rows.
+    objective_sense: object
+    objective_coefficients: np.ndarray  # Over ALL rows.
+
+
+class SketchRefineEvaluator:
+    """Scalable approximate package evaluation over an offline partitioning."""
+
+    def __init__(self, solver=None, config: SketchRefineConfig | None = None):
+        """Args:
+            solver: Black-box ILP solver (``solve(IlpModel) -> Solution``);
+                defaults to :class:`BranchAndBoundSolver`.
+            config: Optional tuning knobs.
+        """
+        self.solver = solver or BranchAndBoundSolver()
+        self.config = config or SketchRefineConfig()
+        self.last_stats = SketchRefineStats()
+
+    # -- public API -----------------------------------------------------------------------
+
+    def evaluate(
+        self, table: Table, query: PackageQuery, partitioning: Partitioning
+    ) -> Package:
+        """Return an approximately-optimal package for ``query`` over ``table``.
+
+        Raises:
+            InfeasiblePackageQueryError: If no feasible package was found.
+                This may be a *false* infeasibility (the flag
+                ``false_negative_possible`` is set) when the true query is
+                feasible but the sketch or every refinement order failed.
+        """
+        if partitioning.table is not table:
+            raise EvaluationError(
+                "the partitioning was built for a different table instance"
+            )
+        start = time.perf_counter()
+        stats = SketchRefineStats(num_groups=partitioning.num_groups)
+        self.last_stats = stats
+
+        linearisation = self._linearise(table, query)
+        group_info = self._group_info(partitioning, linearisation.eligible_mask)
+        eligible_groups = [g for g, rows in group_info.items() if len(rows)]
+        if not eligible_groups:
+            raise InfeasiblePackageQueryError("no tuple satisfies the base predicate")
+
+        group_means = self._group_means(linearisation, group_info)
+
+        # ---- SKETCH ----
+        sketch_start = time.perf_counter()
+        sketch_multiplicities, initial_assignments, used_hybrid = self._sketch(
+            table, query, linearisation, group_info, group_means
+        )
+        stats.sketch_seconds = time.perf_counter() - sketch_start
+        stats.used_hybrid_sketch = used_hybrid
+        stats.groups_in_sketch = sum(1 for m in sketch_multiplicities.values() if m > 0)
+
+        # ---- REFINE ----
+        refine_start = time.perf_counter()
+        assignments = self._refine_root(
+            table, query, linearisation, group_info, group_means,
+            sketch_multiplicities, initial_assignments, stats,
+        )
+        stats.refine_seconds = time.perf_counter() - refine_start
+        stats.total_seconds = time.perf_counter() - start
+
+        combined: dict[int, int] = {}
+        for group_assignment in assignments.values():
+            for row, multiplicity in group_assignment.items():
+                combined[row] = combined.get(row, 0) + multiplicity
+        return Package.from_multiplicity_map(table, combined)
+
+    # -- linearisation ------------------------------------------------------------------------
+
+    def _linearise(self, table: Table, query: PackageQuery) -> _Linearisation:
+        base = compute_base_relation(table, query)
+        mask = np.zeros(table.num_rows, dtype=bool)
+        mask[base.eligible_indices] = True
+        all_rows = np.arange(table.num_rows, dtype=np.int64)
+        rows: list[LinearConstraintRow] = []
+        for number, constraint in enumerate(query.global_constraints):
+            name = constraint.name or f"global_{number}"
+            rows.extend(constraint_linear_rows(table, all_rows, constraint, name))
+        sense, objective = objective_linear(table, all_rows, query)
+        return _Linearisation(mask, rows, sense, objective)
+
+    @staticmethod
+    def _group_info(
+        partitioning: Partitioning, eligible_mask: np.ndarray
+    ) -> dict[int, np.ndarray]:
+        """Eligible row indices per group (groups with no eligible tuples map to empty)."""
+        info: dict[int, np.ndarray] = {}
+        for gid in range(partitioning.num_groups):
+            rows = partitioning.group_rows(gid)
+            info[gid] = rows[eligible_mask[rows]]
+        return info
+
+    @staticmethod
+    def _group_means(
+        linearisation: _Linearisation, group_info: dict[int, np.ndarray]
+    ) -> dict[str, dict[int, np.ndarray]]:
+        """Mean per-tuple coefficient of each constraint row / objective per group.
+
+        The mean coefficient over a group equals the coefficient of the group's
+        centroid, because every translated constraint is linear in the tuple
+        attributes.
+        """
+        constraint_means: dict[int, np.ndarray] = {}
+        objective_means: dict[int, np.ndarray] = {}
+        for gid, rows in group_info.items():
+            if not len(rows):
+                constraint_means[gid] = np.zeros(len(linearisation.constraint_rows))
+                objective_means[gid] = np.zeros(1)
+                continue
+            constraint_means[gid] = np.array(
+                [row.coefficients[rows].mean() for row in linearisation.constraint_rows]
+            )
+            objective_means[gid] = np.array([linearisation.objective_coefficients[rows].mean()])
+        return {"constraints": constraint_means, "objective": objective_means}
+
+    # -- SKETCH -------------------------------------------------------------------------------
+
+    def _sketch(
+        self,
+        table: Table,
+        query: PackageQuery,
+        linearisation: _Linearisation,
+        group_info: dict[int, np.ndarray],
+        group_means: dict[str, dict[int, np.ndarray]],
+    ) -> tuple[dict[int, int], dict[int, dict[int, int]], bool]:
+        """Solve the sketch query.
+
+        Returns ``(sketch multiplicities per group, pre-refined assignments,
+        used_hybrid)``.  Pre-refined assignments are non-empty only when the
+        hybrid-sketch fallback solved one group with original tuples.
+        """
+        eligible_groups = [g for g, rows in group_info.items() if len(rows)]
+        solution = self._solve_sketch_model(
+            query, linearisation, group_info, group_means, eligible_groups, hybrid_group=None
+        )
+        if solution is not None:
+            multiplicities, _ = solution
+            self.last_stats.sketch_objective = self._sketch_objective(
+                multiplicities, group_means
+            )
+            return multiplicities, {}, False
+
+        if not self.config.use_hybrid_sketch:
+            raise InfeasiblePackageQueryError(
+                "sketch query is infeasible", false_negative_possible=True
+            )
+
+        # Hybrid sketch: replace one group's representative with its original
+        # tuples and re-try, in arbitrary group order (Section 4.4).
+        rng = np.random.default_rng(self.config.refine_order_seed)
+        order = list(eligible_groups)
+        rng.shuffle(order)
+        for hybrid_group in order:
+            solution = self._solve_sketch_model(
+                query, linearisation, group_info, group_means, eligible_groups, hybrid_group
+            )
+            if solution is None:
+                continue
+            multiplicities, hybrid_assignment = solution
+            assignments = {hybrid_group: hybrid_assignment} if hybrid_assignment else {}
+            multiplicities[hybrid_group] = 0
+            self.last_stats.sketch_objective = self._sketch_objective(
+                multiplicities, group_means
+            )
+            return multiplicities, assignments, True
+
+        raise InfeasiblePackageQueryError(
+            "sketch query (and every hybrid sketch) is infeasible",
+            false_negative_possible=True,
+        )
+
+    def _solve_sketch_model(
+        self,
+        query: PackageQuery,
+        linearisation: _Linearisation,
+        group_info: dict[int, np.ndarray],
+        group_means: dict[str, dict[int, np.ndarray]],
+        eligible_groups: list[int],
+        hybrid_group: int | None,
+    ) -> tuple[dict[int, int], dict[int, int]] | None:
+        """Build and solve the (possibly hybrid) sketch ILP.
+
+        Returns ``None`` when infeasible; otherwise the per-group multiplicities
+        and, for a hybrid sketch, the per-row assignment of the hybrid group.
+        """
+        model = IlpModel(name=f"sketch_{query.name or query.relation}")
+        per_tuple_cap = query.max_multiplicity
+
+        variable_kind: list[tuple[str, int]] = []  # ("group", gid) or ("row", row index)
+        for gid in eligible_groups:
+            if gid == hybrid_group:
+                for row in group_info[gid]:
+                    upper = float(per_tuple_cap) if per_tuple_cap is not None else None
+                    model.add_variable(f"t_{int(row)}", 0.0, upper)
+                    variable_kind.append(("row", int(row)))
+            else:
+                group_cap = (
+                    float(len(group_info[gid]) * per_tuple_cap)
+                    if per_tuple_cap is not None
+                    else None
+                )
+                model.add_variable(f"g_{gid}", 0.0, group_cap)
+                variable_kind.append(("group", gid))
+
+        for row_number, constraint_row in enumerate(linearisation.constraint_rows):
+            coefficients: dict[int, float] = {}
+            for position, (kind, key) in enumerate(variable_kind):
+                if kind == "group":
+                    value = float(group_means["constraints"][key][row_number])
+                else:
+                    value = float(constraint_row.coefficients[key])
+                if value:
+                    coefficients[position] = value
+            model.add_constraint(
+                coefficients, constraint_row.sense, constraint_row.rhs, name=constraint_row.name
+            )
+
+        objective: dict[int, float] = {}
+        for position, (kind, key) in enumerate(variable_kind):
+            if kind == "group":
+                value = float(group_means["objective"][key][0])
+            else:
+                value = float(linearisation.objective_coefficients[key])
+            if value:
+                objective[position] = value
+        model.set_objective(linearisation.objective_sense, objective)
+
+        solution = self.solver.solve(model)
+        if solution.status is SolverStatus.INFEASIBLE:
+            return None
+        if solution.status is SolverStatus.CAPACITY_EXCEEDED:
+            raise SolverCapacityError(
+                f"sketch problem with {model.num_variables} variables exceeds solver capacity"
+            )
+        if not solution.has_solution:
+            raise EvaluationError(f"sketch solve failed with status {solution.status.value}")
+
+        multiplicities: dict[int, int] = {gid: 0 for gid in eligible_groups}
+        hybrid_assignment: dict[int, int] = {}
+        values = solution.integral_values()
+        for position, (kind, key) in enumerate(variable_kind):
+            count = int(values[position])
+            if count <= 0:
+                continue
+            if kind == "group":
+                multiplicities[key] = count
+            else:
+                hybrid_assignment[key] = count
+        return multiplicities, hybrid_assignment
+
+    @staticmethod
+    def _sketch_objective(
+        multiplicities: dict[int, int], group_means: dict[str, dict[int, np.ndarray]]
+    ) -> float:
+        return float(
+            sum(group_means["objective"][gid][0] * count for gid, count in multiplicities.items())
+        )
+
+    # -- REFINE ---------------------------------------------------------------------------------
+
+    def _refine_root(
+        self,
+        table: Table,
+        query: PackageQuery,
+        linearisation: _Linearisation,
+        group_info: dict[int, np.ndarray],
+        group_means: dict[str, dict[int, np.ndarray]],
+        sketch_multiplicities: dict[int, int],
+        initial_assignments: dict[int, dict[int, int]],
+        stats: SketchRefineStats,
+    ) -> dict[int, dict[int, int]]:
+        pending = [gid for gid, count in sketch_multiplicities.items() if count > 0]
+        rng = np.random.default_rng(self.config.refine_order_seed)
+        rng.shuffle(pending)
+
+        success, result = self._refine(
+            table, query, linearisation, group_info, group_means,
+            sketch_multiplicities, dict(initial_assignments), pending,
+            is_root=True, stats=stats,
+        )
+        if not success:
+            raise InfeasiblePackageQueryError(
+                "refinement failed for every group ordering",
+                false_negative_possible=True,
+            )
+        return result
+
+    def _refine(
+        self,
+        table: Table,
+        query: PackageQuery,
+        linearisation: _Linearisation,
+        group_info: dict[int, np.ndarray],
+        group_means: dict[str, dict[int, np.ndarray]],
+        sketch_multiplicities: dict[int, int],
+        assignments: dict[int, dict[int, int]],
+        pending: list[int],
+        is_root: bool,
+        stats: SketchRefineStats,
+    ) -> tuple[bool, dict[int, dict[int, int]] | set[int]]:
+        """Algorithm 2: greedy backtracking refinement.
+
+        Returns ``(True, assignments)`` on success or ``(False, failed groups)``
+        on failure of every ordering attempted at this level.
+        """
+        if not pending:
+            return True, assignments
+
+        failed: set[int] = set()
+        queue = list(pending)
+        attempted: set[int] = set()
+
+        while queue:
+            gid = queue.pop(0)
+            if gid in attempted:
+                continue
+            attempted.add(gid)
+
+            group_solution = self._solve_refine_query(
+                table, query, linearisation, group_info, group_means,
+                sketch_multiplicities, assignments, pending, gid, stats,
+            )
+            if group_solution is None:
+                # Q[G_j] infeasible.
+                failed.add(gid)
+                if not is_root:
+                    # Greedily backtrack with the non-refinable group.
+                    return False, failed
+                continue
+
+            next_assignments = dict(assignments)
+            next_assignments[gid] = group_solution
+            next_pending = [g for g in pending if g != gid]
+            success, result = self._refine(
+                table, query, linearisation, group_info, group_means,
+                sketch_multiplicities, next_assignments, next_pending,
+                is_root=False, stats=stats,
+            )
+            if success:
+                return True, result
+
+            # The recursion failed: prioritise its failed groups and retry.
+            stats.backtracks += 1
+            if stats.backtracks > self.config.max_backtracks:
+                return False, failed | set(result)
+            failed |= set(result)
+            remaining = [g for g in queue if g not in attempted]
+            prioritised = [g for g in remaining if g in result]
+            others = [g for g in remaining if g not in result]
+            queue = prioritised + others
+
+        return False, failed
+
+    def _solve_refine_query(
+        self,
+        table: Table,
+        query: PackageQuery,
+        linearisation: _Linearisation,
+        group_info: dict[int, np.ndarray],
+        group_means: dict[str, dict[int, np.ndarray]],
+        sketch_multiplicities: dict[int, int],
+        assignments: dict[int, dict[int, int]],
+        pending: list[int],
+        gid: int,
+        stats: SketchRefineStats,
+    ) -> dict[int, int] | None:
+        """Solve Q[G_j]: pick real tuples for group ``gid`` given everything else fixed."""
+        stats.refine_queries += 1
+        rows = group_info[gid]
+        per_tuple_cap = query.max_multiplicity
+
+        # Contribution of the fixed part p̄_j: refined groups' tuples plus the
+        # other unrefined groups' representatives at their sketch multiplicities.
+        fixed_constraint = np.zeros(len(linearisation.constraint_rows))
+        for other_gid, assignment in assignments.items():
+            if other_gid == gid:
+                continue
+            for row, multiplicity in assignment.items():
+                for row_number, constraint_row in enumerate(linearisation.constraint_rows):
+                    fixed_constraint[row_number] += constraint_row.coefficients[row] * multiplicity
+        for other_gid in pending:
+            if other_gid == gid or other_gid in assignments:
+                continue
+            count = sketch_multiplicities.get(other_gid, 0)
+            if count:
+                fixed_constraint += count * group_means["constraints"][other_gid]
+
+        model = IlpModel(name=f"refine_{gid}")
+        for row in rows:
+            upper = float(per_tuple_cap) if per_tuple_cap is not None else None
+            model.add_variable(f"t_{int(row)}", 0.0, upper)
+
+        for row_number, constraint_row in enumerate(linearisation.constraint_rows):
+            coefficients = {
+                position: float(constraint_row.coefficients[row])
+                for position, row in enumerate(rows)
+                if constraint_row.coefficients[row]
+            }
+            residual = constraint_row.rhs - fixed_constraint[row_number]
+            model.add_constraint(
+                coefficients, constraint_row.sense, residual, name=constraint_row.name
+            )
+
+        objective = {
+            position: float(linearisation.objective_coefficients[row])
+            for position, row in enumerate(rows)
+            if linearisation.objective_coefficients[row]
+        }
+        model.set_objective(linearisation.objective_sense, objective)
+
+        solution = self.solver.solve(model)
+        if solution.status is SolverStatus.INFEASIBLE:
+            return None
+        if solution.status is SolverStatus.CAPACITY_EXCEEDED:
+            raise SolverCapacityError(
+                f"refine problem for group {gid} exceeds solver capacity"
+            )
+        if not solution.has_solution:
+            raise EvaluationError(
+                f"refine solve for group {gid} failed with status {solution.status.value}"
+            )
+        values = solution.integral_values()
+        return {
+            int(row): int(values[position])
+            for position, row in enumerate(rows)
+            if values[position] > 0
+        }

@@ -1,0 +1,274 @@
+"""PaQL → ILP translation rules (Section 3.1 of the paper).
+
+One integer variable ``x_i`` is created per tuple eligible under the base
+predicate, indicating how many times the tuple appears in the answer package.
+The translation rules are:
+
+1. **Repetition constraint** — ``REPEAT K`` becomes the variable bound
+   ``0 <= x_i <= K + 1``.
+2. **Base predicate** — tuples failing the WHERE clause are excluded up front
+   (they would be fixed to zero, so their variables are simply not created).
+3. **Global predicates** — each ``f(P) ⊙ v`` becomes a linear constraint:
+   ``COUNT(P.*)`` contributes coefficient 1 per variable, ``SUM(P.attr)``
+   contributes ``t_i.attr``, ``AVG(P.attr) ⊙ v`` is linearised as
+   ``Σ (t_i.attr − v)·x_i ⊙ 0``, and filtered aggregates multiply the
+   coefficients by the 0/1 indicator of the filter (the paper's indicator
+   base relations).  ``BETWEEN`` bounds produce two constraints.
+4. **Objective** — MAXIMIZE/MINIMIZE of a linear aggregate expression maps to
+   the ILP objective with the same coefficients; a query without an objective
+   gets the vacuous objective ``max Σ 0·x_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base_relations import BaseRelation, compute_base_relation, indicator_vector
+from repro.core.package import Package
+from repro.dataset.table import Table
+from repro.db.aggregates import AggregateFunction
+from repro.errors import TranslationError
+from repro.ilp.model import ConstraintSense, IlpModel, ObjectiveSense
+from repro.ilp.status import Solution
+from repro.paql.ast import (
+    AggregateRef,
+    ConstraintSenseKeyword,
+    GlobalConstraint,
+    LinearAggregateExpression,
+    ObjectiveDirection,
+    PackageQuery,
+)
+
+_SENSE_MAP = {
+    ConstraintSenseKeyword.LE: ConstraintSense.LE,
+    ConstraintSenseKeyword.GE: ConstraintSense.GE,
+    ConstraintSenseKeyword.EQ: ConstraintSense.EQ,
+}
+
+
+@dataclass
+class IlpTranslation:
+    """A PaQL query translated into an integer linear program.
+
+    Attributes:
+        model: The ILP handed to the black-box solver.
+        variable_rows: For each ILP variable, the source-table row index it
+            represents (``variable_rows[k]`` is the row of variable ``k``).
+        query: The translated query.
+        base_relation: The eligible-tuple set the variables were created from.
+    """
+
+    model: IlpModel
+    variable_rows: np.ndarray
+    query: PackageQuery
+    base_relation: BaseRelation
+
+    @property
+    def num_variables(self) -> int:
+        return self.model.num_variables
+
+    def package_from_solution(self, solution: Solution) -> Package:
+        """Convert a solver solution back into a :class:`Package`."""
+        if not solution.has_solution:
+            raise TranslationError("cannot build a package from a solution without values")
+        return Package.from_solution_values(
+            self.base_relation.table, solution.values, self.variable_rows
+        )
+
+
+def translate_query(
+    table: Table,
+    query: PackageQuery,
+    candidate_rows: np.ndarray | None = None,
+    extra_constraints: list[GlobalConstraint] | None = None,
+    upper_bounds: np.ndarray | None = None,
+    name: str | None = None,
+) -> IlpTranslation:
+    """Translate a PaQL query over ``table`` into an ILP.
+
+    Args:
+        table: The input relation (or representative relation for SKETCH).
+        query: The package query.
+        candidate_rows: Optional restriction of the rows for which variables
+            are created (used by REFINE to translate one group at a time).
+        extra_constraints: Additional global constraints appended to the
+            query's own (used by SKETCH for the per-group multiplicity caps).
+        upper_bounds: Optional per-variable upper bounds overriding the
+            repetition bound (used by SKETCH, where a representative may
+            appear up to ``|G_j| * (K + 1)`` times).
+        name: Optional model name (defaults to the query name).
+    """
+    base = compute_base_relation(table, query)
+    if candidate_rows is not None:
+        base = base.restrict(candidate_rows)
+    rows = base.eligible_indices
+
+    model = IlpModel(name=name or query.name or "paql")
+    default_upper = query.max_multiplicity
+    if upper_bounds is not None and len(upper_bounds) != len(rows):
+        raise TranslationError(
+            f"upper_bounds has length {len(upper_bounds)}, expected {len(rows)}"
+        )
+    for position, row in enumerate(rows):
+        upper = (
+            float(upper_bounds[position])
+            if upper_bounds is not None
+            else (float(default_upper) if default_upper is not None else None)
+        )
+        model.add_variable(f"x_{int(row)}", lower=0.0, upper=upper, is_integer=True)
+
+    constraints = list(query.global_constraints) + list(extra_constraints or [])
+    for number, constraint in enumerate(constraints):
+        _add_constraint(model, table, rows, constraint, number)
+
+    _set_objective(model, table, rows, query)
+    return IlpTranslation(model=model, variable_rows=rows, query=query, base_relation=base)
+
+
+def aggregate_coefficients(
+    table: Table, rows: np.ndarray, aggregate: AggregateRef
+) -> np.ndarray:
+    """Per-variable coefficients contributed by one aggregate term.
+
+    COUNT contributes 1 per tuple, SUM(attr) contributes the attribute value;
+    a filter multiplies by the 0/1 indicator of the filter predicate.
+    """
+    if aggregate.function is AggregateFunction.COUNT:
+        coefficients = np.ones(len(rows), dtype=np.float64)
+    elif aggregate.function in (AggregateFunction.SUM, AggregateFunction.AVG):
+        coefficients = table.numeric_column(aggregate.column)[rows]
+    else:
+        raise TranslationError(
+            f"{aggregate.function.value} aggregates cannot be translated to a linear program"
+        )
+    if aggregate.filter is not None:
+        coefficients = coefficients * indicator_vector(table, aggregate.filter, rows)
+    return coefficients
+
+
+def expression_coefficients(
+    table: Table, rows: np.ndarray, expression: LinearAggregateExpression
+) -> np.ndarray:
+    """Per-variable coefficients of a full linear aggregate expression.
+
+    AVG terms are not allowed here (they need the bound-dependent rewrite and
+    are handled separately in :func:`_add_constraint`).
+    """
+    coefficients = np.zeros(len(rows), dtype=np.float64)
+    for weight, aggregate in expression.terms:
+        if aggregate.function is AggregateFunction.AVG:
+            raise TranslationError("AVG terms require the constraint-level rewrite")
+        coefficients += weight * aggregate_coefficients(table, rows, aggregate)
+    return coefficients
+
+
+@dataclass
+class LinearConstraintRow:
+    """One translated linear constraint: ``coefficients · x  <sense>  rhs``.
+
+    The coefficient vector is aligned with the ``rows`` it was computed over
+    (one entry per candidate tuple).  SKETCHREFINE reuses these rows directly:
+    the sketch aggregates them per group, and the refine step shifts ``rhs``
+    by the contribution of the already-fixed part of the package.
+    """
+
+    coefficients: np.ndarray
+    sense: ConstraintSense
+    rhs: float
+    name: str
+
+
+def constraint_linear_rows(
+    table: Table, rows: np.ndarray, constraint: GlobalConstraint, name: str
+) -> list[LinearConstraintRow]:
+    """Translate one global constraint into one or two linear constraint rows."""
+    has_avg = any(a.function is AggregateFunction.AVG for _, a in constraint.expression.terms)
+    if has_avg:
+        return _average_constraint_rows(table, rows, constraint, name)
+
+    coefficients = expression_coefficients(table, rows, constraint.expression)
+    if constraint.sense is ConstraintSenseKeyword.BETWEEN:
+        return [
+            LinearConstraintRow(coefficients, ConstraintSense.GE, constraint.lower, f"{name}_lo"),
+            LinearConstraintRow(coefficients, ConstraintSense.LE, constraint.upper, f"{name}_hi"),
+        ]
+    return [
+        LinearConstraintRow(
+            coefficients, _SENSE_MAP[constraint.sense], constraint.lower, name
+        )
+    ]
+
+
+def objective_linear(
+    table: Table, rows: np.ndarray, query: PackageQuery
+) -> tuple[ObjectiveSense, np.ndarray]:
+    """Translate the objective clause into ``(sense, per-tuple coefficients)``.
+
+    Rule 4: a query without an objective gets the vacuous objective
+    ``max Σ 0·x_i``.
+    """
+    if query.objective is None:
+        return ObjectiveSense.MAXIMIZE, np.zeros(len(rows), dtype=np.float64)
+    coefficients = expression_coefficients(table, rows, query.objective.expression)
+    sense = (
+        ObjectiveSense.MINIMIZE
+        if query.objective.direction is ObjectiveDirection.MINIMIZE
+        else ObjectiveSense.MAXIMIZE
+    )
+    return sense, coefficients
+
+
+def _average_constraint_rows(
+    table: Table, rows: np.ndarray, constraint: GlobalConstraint, name: str
+) -> list[LinearConstraintRow]:
+    """Linearise ``c * AVG(P.attr) ⊙ v`` as ``Σ (t_i.attr − v/c)·x_i ⊙ 0``."""
+    if len(constraint.expression.terms) != 1:
+        raise TranslationError("AVG must be the only term of its global constraint")
+    weight, aggregate = constraint.expression.terms[0]
+    if weight == 0:
+        raise TranslationError("AVG constraint with zero coefficient is meaningless")
+    values = table.numeric_column(aggregate.column)[rows]
+    if aggregate.filter is not None:
+        raise TranslationError("filtered AVG aggregates are not supported")
+
+    def row(bound: float, sense: ConstraintSenseKeyword, suffix: str) -> LinearConstraintRow:
+        target = bound / weight
+        effective_sense = _flip(sense) if weight < 0 else sense
+        return LinearConstraintRow(
+            values - target, _SENSE_MAP[effective_sense], 0.0, f"{name}{suffix}"
+        )
+
+    if constraint.sense is ConstraintSenseKeyword.BETWEEN:
+        return [
+            row(constraint.lower, ConstraintSenseKeyword.GE, "_lo"),
+            row(constraint.upper, ConstraintSenseKeyword.LE, "_hi"),
+        ]
+    return [row(constraint.lower, constraint.sense, "")]
+
+
+def _flip(sense: ConstraintSenseKeyword) -> ConstraintSenseKeyword:
+    if sense is ConstraintSenseKeyword.LE:
+        return ConstraintSenseKeyword.GE
+    if sense is ConstraintSenseKeyword.GE:
+        return ConstraintSenseKeyword.LE
+    return sense
+
+
+def _add_constraint(
+    model: IlpModel,
+    table: Table,
+    rows: np.ndarray,
+    constraint: GlobalConstraint,
+    number: int,
+) -> None:
+    name = constraint.name or f"global_{number}"
+    for linear_row in constraint_linear_rows(table, rows, constraint, name):
+        sparse = {k: float(c) for k, c in enumerate(linear_row.coefficients)}
+        model.add_constraint(sparse, linear_row.sense, linear_row.rhs, name=linear_row.name)
+
+
+def _set_objective(model: IlpModel, table: Table, rows: np.ndarray, query: PackageQuery) -> None:
+    sense, coefficients = objective_linear(table, rows, query)
+    model.set_objective(sense, {k: float(c) for k, c in enumerate(coefficients)})

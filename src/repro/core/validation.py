@@ -1,0 +1,149 @@
+"""Package feasibility checking and objective evaluation.
+
+These helpers re-evaluate a candidate package directly against the PaQL query
+semantics (not against the ILP), which makes them an independent check of the
+whole translation/solver pipeline: a package returned by any evaluator must
+pass :func:`check_package`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.aggregates import AggregateFunction
+from repro.errors import EvaluationError
+from repro.core.package import Package
+from repro.paql.ast import (
+    AggregateRef,
+    ConstraintSenseKeyword,
+    GlobalConstraint,
+    LinearAggregateExpression,
+    ObjectiveDirection,
+    PackageQuery,
+)
+
+_DEFAULT_TOLERANCE = 1e-6
+
+
+@dataclass
+class ConstraintCheck:
+    """Result of checking one global constraint."""
+
+    constraint: GlobalConstraint
+    value: float
+    satisfied: bool
+    violation: float
+
+
+@dataclass
+class PackageCheck:
+    """Full feasibility report for a package against a query."""
+
+    feasible: bool
+    constraint_checks: list[ConstraintCheck] = field(default_factory=list)
+    base_predicate_ok: bool = True
+    repetition_ok: bool = True
+
+    @property
+    def violated_constraints(self) -> list[ConstraintCheck]:
+        return [c for c in self.constraint_checks if not c.satisfied]
+
+
+def evaluate_linear_expression(
+    package: Package, expression: LinearAggregateExpression
+) -> float:
+    """Evaluate a linear combination of package aggregates."""
+    total = expression.constant
+    for coefficient, aggregate in expression.terms:
+        total += coefficient * _evaluate_aggregate(package, aggregate)
+    return float(total)
+
+
+def objective_value(package: Package, query: PackageQuery) -> float:
+    """Evaluate the query objective on ``package`` (NaN if the query has none)."""
+    if query.objective is None:
+        return float("nan")
+    return evaluate_linear_expression(package, query.objective.expression)
+
+
+def check_package(
+    package: Package, query: PackageQuery, tolerance: float = _DEFAULT_TOLERANCE
+) -> PackageCheck:
+    """Check whether ``package`` is a feasible answer to ``query``.
+
+    Verifies base predicates, the repetition bound, and every global
+    constraint, returning a detailed report.
+    """
+    base_ok = _check_base_predicate(package, query)
+    repetition_ok = (
+        query.max_multiplicity is None or package.max_multiplicity <= query.max_multiplicity
+    )
+
+    checks: list[ConstraintCheck] = []
+    for constraint in query.global_constraints:
+        value = evaluate_linear_expression(package, constraint.expression)
+        satisfied, violation = _check_bound(constraint, value, tolerance)
+        checks.append(ConstraintCheck(constraint, value, satisfied, violation))
+
+    feasible = base_ok and repetition_ok and all(c.satisfied for c in checks)
+    return PackageCheck(feasible, checks, base_ok, repetition_ok)
+
+
+def is_feasible(package: Package, query: PackageQuery, tolerance: float = _DEFAULT_TOLERANCE) -> bool:
+    """Shorthand for ``check_package(...).feasible``."""
+    return check_package(package, query, tolerance).feasible
+
+
+def approximation_ratio(
+    sketchrefine_objective: float, direct_objective: float, direction: ObjectiveDirection
+) -> float:
+    """The paper's empirical approximation ratio (Section 5.1, Metrics).
+
+    For maximisation queries the ratio is ``direct / sketchrefine``; for
+    minimisation queries it is ``sketchrefine / direct``.  A value of 1 means
+    SKETCHREFINE matched DIRECT; values below 1 mean it did better (possible
+    because solvers use internal heuristics).
+    """
+    if direction is ObjectiveDirection.MAXIMIZE:
+        numerator, denominator = direct_objective, sketchrefine_objective
+    else:
+        numerator, denominator = sketchrefine_objective, direct_objective
+    if denominator == 0:
+        if numerator == 0:
+            return 1.0
+        return float("inf")
+    return float(numerator / denominator)
+
+
+def _evaluate_aggregate(package: Package, aggregate: AggregateRef) -> float:
+    row_mask = None
+    if aggregate.filter is not None:
+        row_mask = np.asarray(aggregate.filter.evaluate(package.table), dtype=bool)
+    return package.aggregate(aggregate.function, aggregate.column, row_mask)
+
+
+def _check_base_predicate(package: Package, query: PackageQuery) -> bool:
+    if query.base_predicate is None or package.is_empty:
+        return True
+    mask = np.asarray(query.base_predicate.evaluate(package.table), dtype=bool)
+    return bool(mask[package.indices].all())
+
+
+def _check_bound(
+    constraint: GlobalConstraint, value: float, tolerance: float
+) -> tuple[bool, float]:
+    if constraint.sense is ConstraintSenseKeyword.LE:
+        violation = max(0.0, value - constraint.lower)
+    elif constraint.sense is ConstraintSenseKeyword.GE:
+        violation = max(0.0, constraint.lower - value)
+    elif constraint.sense is ConstraintSenseKeyword.EQ:
+        violation = abs(value - constraint.lower)
+    elif constraint.sense is ConstraintSenseKeyword.BETWEEN:
+        if constraint.upper is None:
+            raise EvaluationError("BETWEEN constraint missing upper bound")
+        violation = max(0.0, constraint.lower - value, value - constraint.upper)
+    else:  # pragma: no cover - exhaustive enum
+        raise EvaluationError(f"unknown constraint sense {constraint.sense}")
+    return violation <= tolerance, violation

@@ -1,0 +1,22 @@
+"""In-memory columnar dataset layer.
+
+This subpackage provides the storage substrate that the paper obtains from
+PostgreSQL: typed schemas, columnar tables backed by NumPy arrays, and simple
+CSV / NPZ persistence.  Everything above it (the relational operators, the
+PaQL engine, the partitioners) works exclusively through these classes.
+"""
+
+from repro.dataset.schema import Column, DataType, Schema
+from repro.dataset.table import Table
+from repro.dataset.io import read_csv, write_csv, load_table, save_table
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Schema",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "load_table",
+    "save_table",
+]

@@ -1,0 +1,50 @@
+"""Lightweight relational engine over columnar tables.
+
+This subpackage substitutes for the PostgreSQL layer of the paper's prototype.
+It provides:
+
+* a scalar expression language (column references, literals, arithmetic,
+  comparisons, boolean connectives) evaluated vectorised over a table,
+* aggregate functions (COUNT, SUM, AVG, MIN, MAX),
+* relational operators (selection, projection, join, group-by, order-by,
+  limit) exposed through a fluent :class:`~repro.db.query.QueryBuilder`,
+* hash and sorted indexes, and
+* a :class:`~repro.db.catalog.Database` catalog of named tables.
+"""
+
+from repro.db.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    LogicalOp,
+    Not,
+    col,
+    lit,
+)
+from repro.db.aggregates import AggregateFunction, aggregate
+from repro.db.query import QueryBuilder, from_table, group_by, inner_join
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.catalog import Database
+
+__all__ = [
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "BinaryOp",
+    "Comparison",
+    "LogicalOp",
+    "Not",
+    "col",
+    "lit",
+    "AggregateFunction",
+    "aggregate",
+    "QueryBuilder",
+    "from_table",
+    "group_by",
+    "inner_join",
+    "HashIndex",
+    "SortedIndex",
+    "Database",
+]

@@ -1,0 +1,121 @@
+"""A tiny database catalog: named tables plus named partitionings.
+
+The paper's system stores the input relation, the representative relation and
+the group-id column inside PostgreSQL.  :class:`Database` plays that role: it
+owns tables by name and remembers which offline partitionings were built for
+which table, so a query session can look them up at evaluation time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.dataset.io import load_table, save_table
+from repro.dataset.table import Table
+from repro.errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.partition.partitioning import Partitioning
+
+
+class Database:
+    """An in-memory catalog of named tables and their partitionings."""
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._partitionings: dict[tuple[str, str], "Partitioning"] = {}
+
+    # -- tables ----------------------------------------------------------------
+
+    def create_table(self, table: Table, name: str | None = None, replace: bool = False) -> Table:
+        """Register ``table`` in the catalog under ``name`` (default: table.name)."""
+        table_name = name or table.name
+        if table_name in self._tables and not replace:
+            raise CatalogError(f"table {table_name!r} already exists")
+        if name is not None and name != table.name:
+            table = Table(table.schema, {c: table.column(c) for c in table.schema.names}, name=name)
+        self._tables[table_name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Return the table registered under ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {name!r} not found (available: {sorted(self._tables)})"
+            ) from None
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and any partitionings built on it."""
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} not found")
+        del self._tables[name]
+        for key in [k for k in self._partitionings if k[0] == name]:
+            del self._partitionings[key]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # -- partitionings -----------------------------------------------------------
+
+    def register_partitioning(
+        self, table_name: str, partitioning: "Partitioning", label: str = "default"
+    ) -> None:
+        """Associate an offline partitioning with a table under ``label``."""
+        if table_name not in self._tables:
+            raise CatalogError(f"cannot register partitioning: table {table_name!r} not found")
+        self._partitionings[(table_name, label)] = partitioning
+
+    def partitioning(self, table_name: str, label: str = "default") -> "Partitioning":
+        """Return the partitioning registered for ``table_name`` under ``label``."""
+        try:
+            return self._partitionings[(table_name, label)]
+        except KeyError:
+            raise CatalogError(
+                f"no partitioning {label!r} registered for table {table_name!r}"
+            ) from None
+
+    def has_partitioning(self, table_name: str, label: str = "default") -> bool:
+        return (table_name, label) in self._partitionings
+
+    def partitioning_labels(self, table_name: str) -> list[str]:
+        return sorted(label for (t, label) in self._partitionings if t == table_name)
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Persist every table to ``directory`` as one NPZ file per table."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, table in self._tables.items():
+            save_table(table, directory / f"{name}.npz")
+
+    @classmethod
+    def load(cls, directory: str | Path, name: str = "repro") -> "Database":
+        """Load every ``.npz`` table found in ``directory`` into a new catalog."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise CatalogError(f"{directory} is not a directory")
+        db = cls(name=name)
+        for path in sorted(directory.glob("*.npz")):
+            table = load_table(path)
+            db.create_table(table, name=path.stem, replace=True)
+        return db
+
+    def __repr__(self) -> str:
+        return f"Database(name={self.name!r}, tables={self.table_names()})"

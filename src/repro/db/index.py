@@ -1,0 +1,100 @@
+"""Secondary indexes over table columns.
+
+The relational engine is scan-based, but the partitioner and the engine's
+group lookups benefit from two classic index structures:
+
+* :class:`HashIndex` — equality lookups (used to fetch all rows of a
+  partition group by its ``gid``), and
+* :class:`SortedIndex` — range lookups over a numeric column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.errors import QueryError
+
+
+class HashIndex:
+    """Equality index from column value to row positions."""
+
+    def __init__(self, table: Table, column: str):
+        table.schema.require([column])
+        self.column = column
+        self._buckets: dict[object, np.ndarray] = {}
+        values = table.column(column)
+        positions: dict[object, list[int]] = {}
+        for i, value in enumerate(values):
+            positions.setdefault(_normalise(value), []).append(i)
+        for key, rows in positions.items():
+            self._buckets[key] = np.array(rows, dtype=np.int64)
+
+    def lookup(self, value: object) -> np.ndarray:
+        """Return the row positions whose column equals ``value``."""
+        return self._buckets.get(_normalise(value), np.empty(0, dtype=np.int64))
+
+    def keys(self) -> list[object]:
+        """Return all distinct indexed values."""
+        return list(self._buckets.keys())
+
+    def __contains__(self, value: object) -> bool:
+        return _normalise(value) in self._buckets
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Sorted index over a numeric column supporting range queries."""
+
+    def __init__(self, table: Table, column: str):
+        table.schema.require_numeric([column])
+        self.column = column
+        values = table.numeric_column(column)
+        self._order = np.argsort(values, kind="stable")
+        self._sorted_values = values[self._order]
+
+    def range(self, low: float | None = None, high: float | None = None,
+              include_low: bool = True, include_high: bool = True) -> np.ndarray:
+        """Return row positions with values in the given (possibly open) range."""
+        if low is not None and high is not None and low > high:
+            raise QueryError(f"invalid range: low {low} > high {high}")
+        start = 0
+        stop = len(self._sorted_values)
+        if low is not None:
+            side = "left" if include_low else "right"
+            start = int(np.searchsorted(self._sorted_values, low, side=side))
+        if high is not None:
+            side = "right" if include_high else "left"
+            stop = int(np.searchsorted(self._sorted_values, high, side=side))
+        return np.sort(self._order[start:stop])
+
+    def min(self) -> float:
+        if len(self._sorted_values) == 0:
+            raise QueryError("index over empty table has no minimum")
+        return float(self._sorted_values[0])
+
+    def max(self) -> float:
+        if len(self._sorted_values) == 0:
+            raise QueryError("index over empty table has no maximum")
+        return float(self._sorted_values[-1])
+
+    def __len__(self) -> int:
+        return len(self._sorted_values)
+
+
+def build_group_index(table: Table, gid_column: str = "gid") -> dict[int, np.ndarray]:
+    """Build a mapping ``gid -> row positions`` used heavily by SKETCHREFINE."""
+    index = HashIndex(table, gid_column)
+    return {int(key): index.lookup(key) for key in index.keys()}
+
+
+def _normalise(value: object) -> object:
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    return value

@@ -1,0 +1,325 @@
+"""Relational-algebra operators and a fluent query builder.
+
+The operators here cover what the paper's prototype delegates to PostgreSQL:
+selection, projection, inner/outer joins (used to build the pre-joined TPC-H
+table), group-by with aggregates (used by the quad-tree partitioner to compute
+group sizes, radii and centroids), order-by and limit.
+
+Example::
+
+    result = (
+        from_table(recipes)
+        .where(col("gluten") == "free")
+        .order_by("saturated_fat")
+        .limit(10)
+        .execute()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataset.schema import Column, DataType, Schema
+from repro.dataset.table import Table
+from repro.db.aggregates import AggregateFunction, AggregateSpec, aggregate_groups
+from repro.db.expressions import Expression
+from repro.errors import QueryError
+
+
+class QueryBuilder:
+    """Fluent builder for single-table queries (select / project / sort / limit)."""
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._predicates: list[Expression] = []
+        self._projection: list[str] | None = None
+        self._order_by: list[tuple[str, bool]] = []
+        self._limit: int | None = None
+
+    def where(self, predicate: Expression) -> "QueryBuilder":
+        """Add a selection predicate (conjunctive with previous ones)."""
+        self._predicates.append(predicate)
+        return self
+
+    def select(self, *columns: str) -> "QueryBuilder":
+        """Project to the given columns."""
+        self._projection = list(columns)
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "QueryBuilder":
+        """Sort the result by ``column`` (stable, applied in call order)."""
+        self._order_by.append((column, descending))
+        return self
+
+    def limit(self, n: int) -> "QueryBuilder":
+        """Keep only the first ``n`` rows of the (sorted) result."""
+        if n < 0:
+            raise QueryError("limit must be non-negative")
+        self._limit = n
+        return self
+
+    def execute(self) -> Table:
+        """Run the accumulated query and return the result table."""
+        result = self._table
+        for predicate in self._predicates:
+            mask = np.asarray(predicate.evaluate(result), dtype=bool)
+            result = result.filter(mask)
+        if self._order_by:
+            result = order_by(result, self._order_by)
+        if self._limit is not None:
+            result = result.head(self._limit)
+        if self._projection is not None:
+            result = result.select_columns(self._projection)
+        return result
+
+    def matching_indices(self) -> np.ndarray:
+        """Return the original-table row indices satisfying all predicates.
+
+        This is the path used for base-predicate evaluation in the PaQL→ILP
+        pipeline, where the surviving tuple *positions* matter.
+        """
+        mask = np.ones(self._table.num_rows, dtype=bool)
+        for predicate in self._predicates:
+            mask &= np.asarray(predicate.evaluate(self._table), dtype=bool)
+        return np.nonzero(mask)[0]
+
+
+def from_table(table: Table) -> QueryBuilder:
+    """Start a fluent query over ``table``."""
+    return QueryBuilder(table)
+
+
+def order_by(table: Table, keys: Sequence[tuple[str, bool]]) -> Table:
+    """Sort ``table`` by a list of ``(column, descending)`` keys."""
+    if not keys:
+        return table
+    indices = np.arange(table.num_rows)
+    # Apply keys from last to first with a stable sort to get SQL semantics.
+    for column, descending in reversed(list(keys)):
+        values = table.column(column)
+        if table.schema[column].dtype is DataType.STRING:
+            sortable = np.array(["" if v is None else v for v in values[indices]], dtype=object)
+            order = np.argsort(sortable, kind="stable")
+        else:
+            order = np.argsort(np.asarray(values, dtype=np.float64)[indices], kind="stable")
+        if descending:
+            order = order[::-1]
+        indices = indices[order]
+    return table.take(indices)
+
+
+def group_by(
+    table: Table,
+    keys: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Table:
+    """SQL-style GROUP BY with aggregate projections.
+
+    Args:
+        table: Input relation.
+        keys: Grouping columns (any type).
+        aggregates: Aggregates to compute per group.
+
+    Returns:
+        A table with one row per distinct key combination, containing the key
+        columns followed by one column per aggregate.
+    """
+    if not keys:
+        raise QueryError("group_by requires at least one key column")
+    table.schema.require(keys)
+
+    group_ids, key_rows = _dense_group_ids(table, keys)
+    num_groups = len(key_rows)
+
+    columns: dict[str, list | np.ndarray] = {}
+    schema_columns: list[Column] = []
+    for key in keys:
+        source = table.schema[key]
+        schema_columns.append(Column(key, source.dtype, source.nullable))
+        columns[key] = [row[key] for row in key_rows]
+
+    for spec in aggregates:
+        values = (
+            table.numeric_column(spec.column)
+            if spec.function is not AggregateFunction.COUNT
+            else np.zeros(table.num_rows)
+        )
+        result = aggregate_groups(values, group_ids, spec.function, num_groups)
+        out_name = spec.output_name
+        schema_columns.append(Column(out_name, DataType.FLOAT, nullable=True))
+        columns[out_name] = result
+
+    return Table(Schema(schema_columns), columns, name=f"{table.name}_grouped")
+
+
+def group_labels(table: Table, keys: Sequence[str]) -> tuple[np.ndarray, Table]:
+    """Return dense group ids per row and a table of the distinct key rows.
+
+    Exposed separately because the partitioner needs the per-row labelling,
+    not just the aggregated output.
+    """
+    group_ids, key_rows = _dense_group_ids(table, keys)
+    distinct = Table.from_rows(table.schema.project(keys), key_rows, name="groups")
+    return group_ids, distinct
+
+
+def inner_join(
+    left: Table,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    suffix: str = "_right",
+) -> Table:
+    """Hash inner join of two tables on equality of key pairs.
+
+    Args:
+        left: Left relation.
+        right: Right relation.
+        on: Pairs ``(left_column, right_column)`` to equate.
+        suffix: Appended to right-side column names that clash with the left.
+    """
+    return _hash_join(left, right, on, suffix, outer=False)
+
+
+def full_outer_join(
+    left: Table,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    suffix: str = "_right",
+) -> Table:
+    """Full outer hash join; unmatched sides produce NULLs.
+
+    Used to build the paper's pre-joined TPC-H table, which deliberately
+    contains NULLs that individual package queries then project away.
+    """
+    return _hash_join(left, right, on, suffix, outer=True)
+
+
+def _hash_join(
+    left: Table,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    suffix: str,
+    outer: bool,
+) -> Table:
+    if not on:
+        raise QueryError("join requires at least one key pair")
+    left_keys = [pair[0] for pair in on]
+    right_keys = [pair[1] for pair in on]
+    left.schema.require(left_keys)
+    right.schema.require(right_keys)
+
+    right_index: dict[tuple, list[int]] = {}
+    right_key_columns = [right.column(k) for k in right_keys]
+    for i in range(right.num_rows):
+        key = tuple(_normalise_key(col[i]) for col in right_key_columns)
+        right_index.setdefault(key, []).append(i)
+
+    left_key_columns = [left.column(k) for k in left_keys]
+    left_rows: list[int] = []
+    right_rows: list[int] = []  # -1 means no match (outer join padding)
+    matched_right: set[int] = set()
+    for i in range(left.num_rows):
+        key = tuple(_normalise_key(col[i]) for col in left_key_columns)
+        matches = right_index.get(key, [])
+        if matches:
+            for j in matches:
+                left_rows.append(i)
+                right_rows.append(j)
+                matched_right.add(j)
+        elif outer:
+            left_rows.append(i)
+            right_rows.append(-1)
+
+    unmatched_right = [j for j in range(right.num_rows) if j not in matched_right] if outer else []
+
+    # Build output schema: all left columns + right columns (renamed on clash,
+    # join keys from the right are dropped since they equal the left keys).
+    out_columns: list[Column] = list(left.schema.columns)
+    right_name_map: dict[str, str] = {}
+    for column in right.schema.columns:
+        if column.name in right_keys:
+            continue
+        out_name = column.name if column.name not in left.schema else column.name + suffix
+        right_name_map[column.name] = out_name
+        dtype = column.dtype
+        nullable = column.nullable or outer
+        if outer and dtype is DataType.INT:
+            dtype = DataType.FLOAT
+        out_columns.append(Column(out_name, dtype, nullable))
+
+    left_idx = np.array(left_rows, dtype=np.int64)
+    right_idx = np.array(right_rows, dtype=np.int64)
+
+    data: dict[str, list | np.ndarray] = {}
+    num_matched = len(left_rows)
+    num_out = num_matched + len(unmatched_right)
+
+    for column in left.schema.columns:
+        values = left.column(column.name)
+        matched_part = values[left_idx] if num_matched else values[:0]
+        if unmatched_right:
+            pad = _null_pad(column, len(unmatched_right))
+            data[column.name] = _concat_with_nulls(column, matched_part, pad)
+        else:
+            data[column.name] = matched_part
+    for column in right.schema.columns:
+        if column.name in right_keys:
+            continue
+        out_name = right_name_map[column.name]
+        values = right.column(column.name)
+        matched_values = []
+        for j in right_rows:
+            matched_values.append(None if j < 0 else values[j])
+        tail = [values[j] for j in unmatched_right]
+        data[out_name] = matched_values + tail
+
+    out_schema_cols = []
+    for column in out_columns:
+        if column.name in left.schema.names:
+            dtype = column.dtype
+            nullable = column.nullable
+            if outer and unmatched_right and dtype is DataType.INT:
+                dtype = DataType.FLOAT
+            if outer and unmatched_right:
+                nullable = nullable or dtype is not DataType.INT
+            out_schema_cols.append(Column(column.name, dtype, nullable))
+        else:
+            out_schema_cols.append(column)
+
+    assert num_out == len(next(iter(data.values()))) if data else True
+    return Table(Schema(out_schema_cols), data, name=f"{left.name}_join_{right.name}")
+
+
+def _dense_group_ids(table: Table, keys: Sequence[str]) -> tuple[np.ndarray, list[dict]]:
+    key_columns = [table.column(k) for k in keys]
+    mapping: dict[tuple, int] = {}
+    key_rows: list[dict] = []
+    group_ids = np.empty(table.num_rows, dtype=np.int64)
+    for i in range(table.num_rows):
+        key = tuple(_normalise_key(col[i]) for col in key_columns)
+        gid = mapping.get(key)
+        if gid is None:
+            gid = len(mapping)
+            mapping[key] = gid
+            key_rows.append({k: col[i] for k, col in zip(keys, key_columns)})
+        group_ids[i] = gid
+    return group_ids, key_rows
+
+
+def _normalise_key(value: object) -> object:
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
+def _null_pad(column: Column, n: int) -> list:
+    return [None] * n
+
+
+def _concat_with_nulls(column: Column, matched: np.ndarray, pad: list) -> list:
+    return list(matched) + pad

@@ -1,0 +1,104 @@
+"""Exception hierarchy shared by every subsystem of the package-query engine.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can catch one base class to guard against any library failure while
+still being able to distinguish, for example, a PaQL syntax error from an
+infeasible optimisation problem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or an operation violates it."""
+
+
+class ColumnNotFoundError(SchemaError):
+    """A referenced column does not exist in the schema."""
+
+    def __init__(self, column: str, available: tuple[str, ...] = ()):
+        self.column = column
+        self.available = tuple(available)
+        message = f"column {column!r} not found"
+        if available:
+            message += f" (available: {', '.join(available)})"
+        super().__init__(message)
+
+
+class TableError(ReproError):
+    """An operation on a table is invalid (length mismatch, bad index...)."""
+
+
+class CatalogError(ReproError):
+    """A database catalog operation failed (duplicate or missing table)."""
+
+
+class ExpressionError(ReproError):
+    """A scalar or aggregate expression is malformed or cannot be evaluated."""
+
+
+class QueryError(ReproError):
+    """A relational-algebra query is malformed."""
+
+
+class PaQLError(ReproError):
+    """Base class for PaQL language errors."""
+
+
+class PaQLSyntaxError(PaQLError):
+    """The PaQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class PaQLValidationError(PaQLError):
+    """The PaQL query parsed but is semantically invalid for the target table."""
+
+
+class SolverError(ReproError):
+    """Base class for LP/ILP solver failures."""
+
+
+class SolverCapacityError(SolverError):
+    """The problem exceeds the solver's configured capacity limits.
+
+    This mirrors the behaviour of commercial solvers (e.g. CPLEX) running out
+    of memory on very large integer programs, which the paper reports as
+    DIRECT failures in Figure 5.
+    """
+
+
+class SolverTimeoutError(SolverError):
+    """The solver exceeded its wall-clock budget before proving optimality."""
+
+
+class InfeasiblePackageQueryError(ReproError):
+    """The package query has no feasible package (or was reported as such)."""
+
+    def __init__(self, message: str = "package query is infeasible", *, false_negative_possible: bool = False):
+        self.false_negative_possible = false_negative_possible
+        super().__init__(message)
+
+
+class PartitioningError(ReproError):
+    """Offline partitioning failed or was given inconsistent parameters."""
+
+
+class TranslationError(ReproError):
+    """A PaQL query could not be translated into an integer linear program."""
+
+
+class EvaluationError(ReproError):
+    """A package evaluation strategy failed for a non-infeasibility reason."""

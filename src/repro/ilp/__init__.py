@@ -1,0 +1,48 @@
+"""Linear and integer linear programming substrate.
+
+The paper uses IBM CPLEX as a black-box ILP solver.  This subpackage provides
+an equivalent black box implemented from scratch:
+
+* :class:`~repro.ilp.model.IlpModel` — a sparse-friendly model of variables,
+  linear constraints, bounds and a linear objective,
+* :mod:`~repro.ilp.lp_backend` — LP relaxation solving through SciPy's HiGHS
+  backend, with a pure-NumPy dense simplex fallback,
+* :class:`~repro.ilp.branch_and_bound.BranchAndBoundSolver` — an exact ILP
+  solver with configurable node selection, branching rules, rounding
+  heuristics, and capacity/time budgets (the capacity budget emulates CPLEX
+  running out of memory on huge problems, which the paper reports as DIRECT
+  failures),
+* :class:`~repro.ilp.rounding.RelaxAndRoundSolver` — an LP-relaxation +
+  rounding heuristic, used as an additional baseline and to demonstrate that
+  the package evaluators treat the solver as a genuine black box,
+* :mod:`~repro.ilp.iis` — a simple irreducible-infeasible-set approximation
+  (the paper mentions IIS as the mechanism for the "dropping partitioning
+  attributes" mitigation of false infeasibility).
+"""
+
+from repro.ilp.model import Constraint, ConstraintSense, IlpModel, Objective, ObjectiveSense, Variable
+from repro.ilp.status import SolveStats, SolverStatus, Solution
+from repro.ilp.lp_backend import LpBackend, solve_lp
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, BranchingRule, NodeSelection, SolverLimits
+from repro.ilp.rounding import RelaxAndRoundSolver
+from repro.ilp.iis import find_iis
+
+__all__ = [
+    "IlpModel",
+    "Variable",
+    "Constraint",
+    "ConstraintSense",
+    "Objective",
+    "ObjectiveSense",
+    "Solution",
+    "SolverStatus",
+    "SolveStats",
+    "LpBackend",
+    "solve_lp",
+    "BranchAndBoundSolver",
+    "SolverLimits",
+    "BranchingRule",
+    "NodeSelection",
+    "RelaxAndRoundSolver",
+    "find_iis",
+]

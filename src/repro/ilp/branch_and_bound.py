@@ -1,0 +1,365 @@
+"""Branch-and-bound integer linear programming solver.
+
+This is the library's stand-in for the paper's black-box ILP solver (CPLEX).
+It implements a classic LP-relaxation branch-and-bound:
+
+1. Solve the LP relaxation of the node.
+2. If the relaxation is infeasible or its bound cannot beat the incumbent,
+   prune the node.
+3. If the relaxation is integral, update the incumbent.
+4. Otherwise pick a fractional variable (most-fractional or pseudo-cost
+   branching) and create two child nodes with tightened bounds.
+
+Node selection is best-bound by default (good bounds early) with a
+depth-first option for memory-constrained runs.  A rounding heuristic tries
+to convert fractional relaxations into incumbents early, which greatly speeds
+up the package-query instances (0/1-style multiplicity variables).
+
+``SolverLimits`` intentionally includes ``max_variables``: CPLEX loads the
+entire problem in memory and the paper's Figure 5 shows DIRECT failing on
+large Galaxy queries for exactly that reason.  Setting a variable cap lets the
+benchmark harness reproduce the failure regime deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ilp.lp_backend import LpBackend, LpResult, solve_lp_dense
+from repro.ilp.model import ConstraintSense, DenseForm, IlpModel, ObjectiveSense
+from repro.ilp.status import Solution, SolveStats, SolverStatus
+
+_INTEGRALITY_TOLERANCE = 1e-6
+_BOUND_TOLERANCE = 1e-9
+
+
+class BranchingRule(enum.Enum):
+    """How to choose the fractional variable to branch on."""
+
+    MOST_FRACTIONAL = "most_fractional"
+    PSEUDO_COST = "pseudo_cost"
+    FIRST_FRACTIONAL = "first_fractional"
+
+
+class NodeSelection(enum.Enum):
+    """Order in which open branch-and-bound nodes are explored."""
+
+    BEST_BOUND = "best_bound"
+    DEPTH_FIRST = "depth_first"
+
+
+@dataclass
+class SolverLimits:
+    """Resource budgets for a solve.
+
+    Attributes:
+        time_limit_seconds: Wall-clock budget; exceeded → TIME_LIMIT status
+            (with the best incumbent, if any, reported as FEASIBLE).
+        node_limit: Maximum number of branch-and-bound nodes to explore.
+        max_variables: Maximum problem size the solver will accept.  ``None``
+            disables the check.  This emulates the memory capacity limits of
+            commercial solvers on very large ILPs.
+        max_constraints: Like ``max_variables`` but for constraint count.
+        relative_gap: Stop exploring a subtree when the relative optimality
+            gap falls below this value.  The default matches the default MIP
+            gap of commercial solvers (CPLEX uses 1e-4), which the paper's
+            experiments rely on implicitly.
+    """
+
+    time_limit_seconds: float = 3600.0
+    node_limit: int = 200_000
+    max_variables: int | None = None
+    max_constraints: int | None = None
+    relative_gap: float = 1e-4
+
+
+@dataclass(order=True)
+class _Node:
+    priority: float
+    sequence: int
+    depth: int = field(compare=False)
+    lower_bounds: np.ndarray = field(compare=False)
+    upper_bounds: np.ndarray = field(compare=False)
+
+
+class BranchAndBoundSolver:
+    """Exact ILP solver with LP-relaxation branch and bound."""
+
+    def __init__(
+        self,
+        limits: SolverLimits | None = None,
+        branching: BranchingRule = BranchingRule.MOST_FRACTIONAL,
+        node_selection: NodeSelection = NodeSelection.BEST_BOUND,
+        lp_backend: LpBackend = LpBackend.HIGHS,
+        enable_rounding_heuristic: bool = True,
+    ):
+        self.limits = limits or SolverLimits()
+        self.branching = branching
+        self.node_selection = node_selection
+        self.lp_backend = lp_backend
+        self.enable_rounding_heuristic = enable_rounding_heuristic
+
+    # -- public API ----------------------------------------------------------------
+
+    def solve(self, model: IlpModel) -> Solution:
+        """Solve ``model`` to optimality (or until a limit is hit)."""
+        stats = SolveStats()
+        capacity_status = self._check_capacity(model)
+        if capacity_status is not None:
+            return Solution.failure(capacity_status, stats)
+
+        start = time.perf_counter()
+        dense = model.to_dense()
+        n = model.num_variables
+
+        if n == 0:
+            # Degenerate: empty model is trivially feasible with empty assignment.
+            return Solution(SolverStatus.OPTIMAL, np.empty(0), 0.0, stats)
+
+        integer_mask = np.array([v.is_integer for v in model.variables], dtype=bool)
+        root_lower = np.array([v.lower for v in model.variables], dtype=np.float64)
+        root_upper = np.array(
+            [np.inf if v.upper is None else v.upper for v in model.variables], dtype=np.float64
+        )
+
+        sense = model.objective.sense
+        incumbent: np.ndarray | None = None
+        incumbent_value = sense.worst_value
+
+        pseudo_up = np.ones(n)
+        pseudo_down = np.ones(n)
+        pseudo_counts = np.zeros(n)
+
+        counter = itertools.count()
+        heap: list[_Node] = []
+        root = _Node(priority=0.0, sequence=next(counter), depth=0,
+                     lower_bounds=root_lower, upper_bounds=root_upper)
+        heapq.heappush(heap, root)
+
+        while heap:
+            elapsed = time.perf_counter() - start
+            if elapsed > self.limits.time_limit_seconds:
+                return self._finish(
+                    SolverStatus.TIME_LIMIT, incumbent, incumbent_value, model, stats, start
+                )
+            if stats.nodes_explored >= self.limits.node_limit:
+                return self._finish(
+                    SolverStatus.TIME_LIMIT, incumbent, incumbent_value, model, stats, start
+                )
+
+            node = heapq.heappop(heap)
+            stats.nodes_explored += 1
+
+            lp_result = self._solve_node_lp(dense, node)
+            stats.lp_solves += 1
+
+            if lp_result.status is SolverStatus.INFEASIBLE:
+                continue
+            if lp_result.status is SolverStatus.UNBOUNDED:
+                if incumbent is None and node.depth == 0:
+                    return Solution.failure(SolverStatus.UNBOUNDED, stats)
+                continue
+
+            bound = lp_result.objective_value
+            stats.best_bound = bound
+
+            # Prune by bound: the relaxation cannot improve on the incumbent.
+            if incumbent is not None and not self._bound_improves(sense, bound, incumbent_value):
+                continue
+
+            fractional = self._fractional_indices(lp_result.values, integer_mask)
+            if not len(fractional):
+                # Integral relaxation: new incumbent.
+                value = model.objective_value(lp_result.values)
+                if incumbent is None or sense.better(value, incumbent_value):
+                    incumbent = np.rint(lp_result.values * integer_mask) + lp_result.values * (~integer_mask)
+                    incumbent_value = value
+                    stats.incumbent_updates += 1
+                continue
+
+            if self.enable_rounding_heuristic:
+                heuristic = self._rounding_heuristic(model, lp_result.values, integer_mask,
+                                                     node.lower_bounds, node.upper_bounds)
+                if heuristic is not None:
+                    value = model.objective_value(heuristic)
+                    if incumbent is None or sense.better(value, incumbent_value):
+                        incumbent = heuristic
+                        incumbent_value = value
+                        stats.incumbent_updates += 1
+
+            # Optimality-gap stop.
+            if incumbent is not None and self._gap(sense, bound, incumbent_value) <= self.limits.relative_gap:
+                continue
+
+            branch_index = self._choose_branch_variable(
+                fractional, lp_result.values, pseudo_up, pseudo_down, pseudo_counts
+            )
+            branch_value = lp_result.values[branch_index]
+            floor_value = np.floor(branch_value)
+
+            self._update_pseudo_costs(
+                pseudo_up, pseudo_down, pseudo_counts, branch_index, branch_value
+            )
+
+            down = _Node(
+                priority=self._node_priority(sense, bound, node.depth + 1),
+                sequence=next(counter),
+                depth=node.depth + 1,
+                lower_bounds=node.lower_bounds.copy(),
+                upper_bounds=node.upper_bounds.copy(),
+            )
+            down.upper_bounds[branch_index] = floor_value
+
+            up = _Node(
+                priority=self._node_priority(sense, bound, node.depth + 1),
+                sequence=next(counter),
+                depth=node.depth + 1,
+                lower_bounds=node.lower_bounds.copy(),
+                upper_bounds=node.upper_bounds.copy(),
+            )
+            up.lower_bounds[branch_index] = floor_value + 1.0
+
+            if down.upper_bounds[branch_index] >= down.lower_bounds[branch_index] - _BOUND_TOLERANCE:
+                heapq.heappush(heap, down)
+            if up.lower_bounds[branch_index] <= up.upper_bounds[branch_index] + _BOUND_TOLERANCE:
+                heapq.heappush(heap, up)
+
+        if incumbent is None:
+            # The search tree was exhausted without finding any integral point.
+            stats.wall_time_seconds = time.perf_counter() - start
+            return Solution.infeasible(stats)
+        return self._finish(SolverStatus.OPTIMAL, incumbent, incumbent_value, model, stats, start)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _check_capacity(self, model: IlpModel) -> SolverStatus | None:
+        limits = self.limits
+        if limits.max_variables is not None and model.num_variables > limits.max_variables:
+            return SolverStatus.CAPACITY_EXCEEDED
+        if limits.max_constraints is not None and model.num_constraints > limits.max_constraints:
+            return SolverStatus.CAPACITY_EXCEEDED
+        return None
+
+    def _solve_node_lp(self, dense: DenseForm, node: _Node) -> LpResult:
+        bounds = [
+            (float(low), None if np.isinf(up) else float(up))
+            for low, up in zip(node.lower_bounds, node.upper_bounds)
+        ]
+        node_dense = DenseForm(
+            c=dense.c,
+            a_ub=dense.a_ub,
+            b_ub=dense.b_ub,
+            a_eq=dense.a_eq,
+            b_eq=dense.b_eq,
+            bounds=bounds,
+            maximize=dense.maximize,
+        )
+        return solve_lp_dense(node_dense, self.lp_backend)
+
+    @staticmethod
+    def _fractional_indices(values: np.ndarray, integer_mask: np.ndarray) -> np.ndarray:
+        fractional_part = np.abs(values - np.rint(values))
+        return np.nonzero(integer_mask & (fractional_part > _INTEGRALITY_TOLERANCE))[0]
+
+    def _choose_branch_variable(
+        self,
+        fractional: np.ndarray,
+        values: np.ndarray,
+        pseudo_up: np.ndarray,
+        pseudo_down: np.ndarray,
+        pseudo_counts: np.ndarray,
+    ) -> int:
+        if self.branching is BranchingRule.FIRST_FRACTIONAL:
+            return int(fractional[0])
+        fractions = values[fractional] - np.floor(values[fractional])
+        if self.branching is BranchingRule.MOST_FRACTIONAL:
+            scores = -np.abs(fractions - 0.5)
+            return int(fractional[int(np.argmax(scores))])
+        # Pseudo-cost branching: estimated degradation product (larger is better).
+        up_cost = pseudo_up[fractional] * (1.0 - fractions)
+        down_cost = pseudo_down[fractional] * fractions
+        scores = np.maximum(up_cost, 1e-6) * np.maximum(down_cost, 1e-6)
+        return int(fractional[int(np.argmax(scores))])
+
+    @staticmethod
+    def _update_pseudo_costs(
+        pseudo_up: np.ndarray,
+        pseudo_down: np.ndarray,
+        pseudo_counts: np.ndarray,
+        index: int,
+        value: float,
+    ) -> None:
+        fraction = value - np.floor(value)
+        pseudo_counts[index] += 1
+        # Simple exponential smoothing of observed fractionalities.
+        pseudo_up[index] = 0.7 * pseudo_up[index] + 0.3 * (1.0 - fraction)
+        pseudo_down[index] = 0.7 * pseudo_down[index] + 0.3 * fraction
+
+    def _node_priority(self, sense: ObjectiveSense, bound: float, depth: int) -> float:
+        if self.node_selection is NodeSelection.DEPTH_FIRST:
+            return -float(depth)
+        # Best bound first: min-heap, so minimisation uses the bound directly
+        # and maximisation uses its negation.
+        return bound if sense is ObjectiveSense.MINIMIZE else -bound
+
+    @staticmethod
+    def _bound_improves(sense: ObjectiveSense, bound: float, incumbent_value: float) -> bool:
+        if sense is ObjectiveSense.MINIMIZE:
+            return bound < incumbent_value - _BOUND_TOLERANCE
+        return bound > incumbent_value + _BOUND_TOLERANCE
+
+    @staticmethod
+    def _gap(sense: ObjectiveSense, bound: float, incumbent_value: float) -> float:
+        if not np.isfinite(bound) or not np.isfinite(incumbent_value):
+            return float("inf")
+        denominator = max(1.0, abs(incumbent_value))
+        return abs(incumbent_value - bound) / denominator
+
+    def _rounding_heuristic(
+        self,
+        model: IlpModel,
+        relaxation: np.ndarray,
+        integer_mask: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> np.ndarray | None:
+        """Try rounding the fractional relaxation to a feasible integral point."""
+        candidate = relaxation.copy()
+        candidate[integer_mask] = np.rint(relaxation[integer_mask])
+        candidate = np.clip(candidate, lower, np.where(np.isinf(upper), candidate, upper))
+        if model.check_feasible(candidate):
+            return candidate
+        # Second attempt: floor everything (often feasible for <= constraints).
+        candidate = relaxation.copy()
+        candidate[integer_mask] = np.floor(relaxation[integer_mask])
+        candidate = np.clip(candidate, lower, np.where(np.isinf(upper), candidate, upper))
+        if model.check_feasible(candidate):
+            return candidate
+        return None
+
+    def _finish(
+        self,
+        status: SolverStatus,
+        incumbent: np.ndarray | None,
+        incumbent_value: float,
+        model: IlpModel,
+        stats: SolveStats,
+        start: float,
+    ) -> Solution:
+        stats.wall_time_seconds = time.perf_counter() - start
+        if incumbent is None:
+            if status is SolverStatus.OPTIMAL:
+                return Solution.infeasible(stats)
+            return Solution.failure(status, stats)
+        if status is SolverStatus.OPTIMAL:
+            final_status = SolverStatus.OPTIMAL
+        else:
+            final_status = SolverStatus.FEASIBLE
+        stats.gap = self._gap(model.objective.sense, stats.best_bound, incumbent_value)
+        return Solution(final_status, incumbent, incumbent_value, stats)

@@ -1,0 +1,104 @@
+"""LP relaxation backends.
+
+Branch and bound needs to repeatedly solve LP relaxations.  Two backends are
+provided:
+
+* ``HIGHS`` — :func:`scipy.optimize.linprog` with the HiGHS method (default,
+  fast and robust), and
+* ``SIMPLEX`` — the pure-NumPy dense simplex in :mod:`repro.ilp.simplex`,
+  kept as an independent implementation both for environments without SciPy's
+  HiGHS and as a cross-check in the test-suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+from repro.ilp.model import DenseForm, IlpModel
+from repro.ilp.simplex import SimplexResult, SimplexStatus, solve_dense_simplex
+from repro.ilp.status import Solution, SolveStats, SolverStatus
+
+
+class LpBackend(enum.Enum):
+    """Which LP algorithm backs the relaxation solves."""
+
+    HIGHS = "highs"
+    SIMPLEX = "simplex"
+
+
+@dataclass
+class LpResult:
+    """Result of one LP relaxation solve (always in the model's own sense)."""
+
+    status: SolverStatus
+    values: np.ndarray
+    objective_value: float
+
+
+def solve_lp_dense(dense: DenseForm, backend: LpBackend = LpBackend.HIGHS) -> LpResult:
+    """Solve the LP relaxation of a dense-form model."""
+    if backend is LpBackend.HIGHS:
+        return _solve_highs(dense)
+    return _solve_simplex(dense)
+
+
+def solve_lp(model: IlpModel, backend: LpBackend = LpBackend.HIGHS) -> Solution:
+    """Solve the LP relaxation of ``model`` and wrap the result as a Solution."""
+    dense = model.to_dense()
+    result = solve_lp_dense(dense, backend)
+    stats = SolveStats(lp_solves=1)
+    if not result.status.has_solution:
+        return Solution(result.status, stats=stats)
+    return Solution(
+        status=result.status,
+        values=result.values,
+        objective_value=result.objective_value,
+        stats=stats,
+    )
+
+
+def _solve_highs(dense: DenseForm) -> LpResult:
+    bounds = [(low, up) for low, up in dense.bounds]
+    result = linprog(
+        c=dense.c,
+        A_ub=dense.a_ub if dense.a_ub.size else None,
+        b_ub=dense.b_ub if dense.b_ub.size else None,
+        A_eq=dense.a_eq if dense.a_eq.size else None,
+        b_eq=dense.b_eq if dense.b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 0:
+        return LpResult(SolverStatus.OPTIMAL, np.asarray(result.x), dense.objective_from_min(result.fun))
+    if result.status == 2:
+        return LpResult(SolverStatus.INFEASIBLE, np.empty(0), float("nan"))
+    if result.status == 3:
+        return LpResult(SolverStatus.UNBOUNDED, np.empty(0), float("nan"))
+    raise SolverError(f"HiGHS LP solve failed: {result.message}")
+
+
+def _solve_simplex(dense: DenseForm) -> LpResult:
+    simplex_result: SimplexResult = solve_dense_simplex(
+        c=dense.c,
+        a_ub=dense.a_ub,
+        b_ub=dense.b_ub,
+        a_eq=dense.a_eq,
+        b_eq=dense.b_eq,
+        bounds=dense.bounds,
+    )
+    if simplex_result.status is SimplexStatus.OPTIMAL:
+        return LpResult(
+            SolverStatus.OPTIMAL,
+            simplex_result.x,
+            dense.objective_from_min(simplex_result.objective),
+        )
+    if simplex_result.status is SimplexStatus.INFEASIBLE:
+        return LpResult(SolverStatus.INFEASIBLE, np.empty(0), float("nan"))
+    if simplex_result.status is SimplexStatus.UNBOUNDED:
+        return LpResult(SolverStatus.UNBOUNDED, np.empty(0), float("nan"))
+    raise SolverError("simplex LP solve did not converge")

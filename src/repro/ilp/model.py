@@ -1,0 +1,296 @@
+"""Integer linear program model.
+
+An :class:`IlpModel` holds integer (or continuous) variables with bounds, a
+set of linear constraints and a linear objective.  The PaQL translator builds
+one of these per package (sub)query; the solvers in this package consume it.
+
+The model is deliberately solver-agnostic: it can be exported to the dense
+matrix form used by the LP backend, or to the standard ``A_ub/A_eq`` form of
+:func:`scipy.optimize.linprog`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+class ConstraintSense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+
+class ObjectiveSense(enum.Enum):
+    """Optimisation direction."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+    def better(self, a: float, b: float) -> bool:
+        """Whether objective value ``a`` is strictly better than ``b``."""
+        return a < b if self is ObjectiveSense.MINIMIZE else a > b
+
+    @property
+    def worst_value(self) -> float:
+        return float("inf") if self is ObjectiveSense.MINIMIZE else float("-inf")
+
+
+@dataclass
+class Variable:
+    """A decision variable.
+
+    Attributes:
+        name: Unique variable name within the model.
+        lower: Lower bound (>= 0 for package multiplicities).
+        upper: Upper bound; ``None`` means unbounded above.
+        is_integer: Whether the variable is integrality-constrained.
+    """
+
+    name: str
+    lower: float = 0.0
+    upper: float | None = None
+    is_integer: bool = True
+    index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.upper is not None and self.upper < self.lower:
+            raise SolverError(
+                f"variable {self.name!r}: upper bound {self.upper} < lower bound {self.lower}"
+            )
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``sum_i coefficients[i] * x_i  <sense>  rhs``.
+
+    Coefficients are stored sparsely as a mapping from variable index to
+    coefficient.
+    """
+
+    name: str
+    coefficients: dict[int, float]
+    sense: ConstraintSense
+    rhs: float
+
+    def evaluate(self, values: np.ndarray) -> float:
+        """Evaluate the left-hand side under a full assignment ``values``."""
+        return float(sum(coef * values[idx] for idx, coef in self.coefficients.items()))
+
+    def is_satisfied(self, values: np.ndarray, tolerance: float = 1e-6) -> bool:
+        """Whether the constraint holds under ``values`` (with tolerance)."""
+        lhs = self.evaluate(values)
+        if self.sense is ConstraintSense.LE:
+            return lhs <= self.rhs + tolerance
+        if self.sense is ConstraintSense.GE:
+            return lhs >= self.rhs - tolerance
+        return abs(lhs - self.rhs) <= tolerance
+
+    def violation(self, values: np.ndarray) -> float:
+        """Return how much the constraint is violated (0 when satisfied)."""
+        lhs = self.evaluate(values)
+        if self.sense is ConstraintSense.LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense is ConstraintSense.GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)
+
+
+@dataclass
+class Objective:
+    """A linear objective ``optimise sum_i coefficients[i] * x_i``."""
+
+    sense: ObjectiveSense
+    coefficients: dict[int, float] = field(default_factory=dict)
+
+    def evaluate(self, values: np.ndarray) -> float:
+        return float(sum(coef * values[idx] for idx, coef in self.coefficients.items()))
+
+
+class IlpModel:
+    """A mutable integer linear program.
+
+    Typical usage::
+
+        model = IlpModel(name="example")
+        x = [model.add_variable(f"x{i}", upper=1) for i in range(3)]
+        model.add_constraint({0: 1.0, 1: 1.0, 2: 1.0}, ConstraintSense.EQ, 2, name="count")
+        model.set_objective(ObjectiveSense.MINIMIZE, {0: 3.0, 1: 1.0, 2: 2.0})
+    """
+
+    def __init__(self, name: str = "ilp"):
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective = Objective(ObjectiveSense.MINIMIZE, {})
+        self._names: set[str] = set()
+
+    # -- construction -----------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float | None = None,
+        is_integer: bool = True,
+    ) -> Variable:
+        """Add a variable and return it (its ``index`` identifies it in constraints)."""
+        if name in self._names:
+            raise SolverError(f"duplicate variable name: {name!r}")
+        variable = Variable(name, lower, upper, is_integer, index=len(self.variables))
+        self.variables.append(variable)
+        self._names.add(name)
+        return variable
+
+    def add_constraint(
+        self,
+        coefficients: Mapping[int, float],
+        sense: ConstraintSense,
+        rhs: float,
+        name: str | None = None,
+    ) -> Constraint:
+        """Add a linear constraint over variable indices."""
+        cleaned = {int(i): float(c) for i, c in coefficients.items() if c != 0.0}
+        for idx in cleaned:
+            if not 0 <= idx < len(self.variables):
+                raise SolverError(f"constraint references unknown variable index {idx}")
+        constraint = Constraint(
+            name or f"c{len(self.constraints)}", cleaned, sense, float(rhs)
+        )
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, sense: ObjectiveSense, coefficients: Mapping[int, float]) -> None:
+        """Set the linear objective.  An empty mapping yields a feasibility problem."""
+        cleaned = {int(i): float(c) for i, c in coefficients.items() if c != 0.0}
+        for idx in cleaned:
+            if not 0 <= idx < len(self.variables):
+                raise SolverError(f"objective references unknown variable index {idx}")
+        self.objective = Objective(sense, cleaned)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def is_pure_feasibility(self) -> bool:
+        return not self.objective.coefficients
+
+    def variable_by_name(self, name: str) -> Variable:
+        for variable in self.variables:
+            if variable.name == name:
+                return variable
+        raise SolverError(f"variable {name!r} not found")
+
+    def objective_value(self, values: np.ndarray) -> float:
+        """Evaluate the objective under a full assignment."""
+        return self.objective.evaluate(values)
+
+    def check_feasible(self, values: np.ndarray, tolerance: float = 1e-6) -> bool:
+        """Whether ``values`` satisfies all bounds, integrality and constraints."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.num_variables,):
+            return False
+        for variable in self.variables:
+            v = values[variable.index]
+            if v < variable.lower - tolerance:
+                return False
+            if variable.upper is not None and v > variable.upper + tolerance:
+                return False
+            if variable.is_integer and abs(v - round(v)) > tolerance:
+                return False
+        return all(c.is_satisfied(values, tolerance) for c in self.constraints)
+
+    def total_violation(self, values: np.ndarray) -> float:
+        """Sum of constraint violations under ``values`` (useful in tests)."""
+        return float(sum(c.violation(values) for c in self.constraints))
+
+    # -- export -------------------------------------------------------------------
+
+    def to_dense(self) -> "DenseForm":
+        """Export to dense ``A_ub x <= b_ub``, ``A_eq x = b_eq`` matrices."""
+        n = self.num_variables
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for constraint in self.constraints:
+            row = np.zeros(n)
+            for idx, coef in constraint.coefficients.items():
+                row[idx] = coef
+            if constraint.sense is ConstraintSense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(constraint.rhs)
+            elif constraint.sense is ConstraintSense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-constraint.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(constraint.rhs)
+
+        objective = np.zeros(n)
+        for idx, coef in self.objective.coefficients.items():
+            objective[idx] = coef
+        if self.objective.sense is ObjectiveSense.MAXIMIZE:
+            objective = -objective
+
+        bounds = [
+            (v.lower, v.upper if v.upper is not None else None) for v in self.variables
+        ]
+        return DenseForm(
+            c=objective,
+            a_ub=np.array(ub_rows) if ub_rows else np.empty((0, n)),
+            b_ub=np.array(ub_rhs),
+            a_eq=np.array(eq_rows) if eq_rows else np.empty((0, n)),
+            b_eq=np.array(eq_rhs),
+            bounds=bounds,
+            maximize=self.objective.sense is ObjectiveSense.MAXIMIZE,
+        )
+
+    def copy(self) -> "IlpModel":
+        """Return a deep copy of the model (constraints and bounds included)."""
+        clone = IlpModel(name=self.name)
+        for variable in self.variables:
+            clone.add_variable(variable.name, variable.lower, variable.upper, variable.is_integer)
+        for constraint in self.constraints:
+            clone.add_constraint(
+                dict(constraint.coefficients), constraint.sense, constraint.rhs, name=constraint.name
+            )
+        clone.set_objective(self.objective.sense, dict(self.objective.coefficients))
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"IlpModel(name={self.name!r}, variables={self.num_variables}, "
+            f"constraints={self.num_constraints}, sense={self.objective.sense.value})"
+        )
+
+
+@dataclass
+class DenseForm:
+    """Dense matrix export of an :class:`IlpModel` (always a minimisation)."""
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: list[tuple[float, float | None]]
+    maximize: bool
+
+    def objective_from_min(self, min_value: float) -> float:
+        """Convert the minimised objective value back to the model's sense."""
+        return -min_value if self.maximize else min_value

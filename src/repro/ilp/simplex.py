@@ -1,0 +1,225 @@
+"""A dense two-phase primal simplex solver.
+
+This is a self-contained LP solver used as a fallback / cross-check for the
+HiGHS backend.  It handles:
+
+* minimisation of ``c @ x``,
+* inequality constraints ``A_ub x <= b_ub`` and equalities ``A_eq x = b_eq``,
+* finite lower bounds and optional upper bounds per variable.
+
+Bounds are normalised away (shift to zero lower bound, upper bounds become
+rows), then the problem is put in standard equality form with slack variables
+and solved with the classic two-phase method using Bland's anti-cycling rule.
+
+It is intentionally simple — dense tableau, O(m·n) pivots — because the
+sub-problems SKETCHREFINE sends to it are small.  Large problems should use
+the HiGHS backend.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+_EPSILON = 1e-9
+_MAX_ITERATIONS_FACTOR = 50
+
+
+class SimplexStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class SimplexResult:
+    """Outcome of a dense simplex solve (objective in minimisation sense)."""
+
+    status: SimplexStatus
+    x: np.ndarray
+    objective: float
+
+
+def solve_dense_simplex(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    bounds: list[tuple[float, float | None]],
+) -> SimplexResult:
+    """Minimise ``c @ x`` subject to the given constraints and bounds."""
+    c = np.asarray(c, dtype=np.float64)
+    n = len(c)
+    a_ub = np.asarray(a_ub, dtype=np.float64).reshape(-1, n) if np.size(a_ub) else np.empty((0, n))
+    b_ub = np.asarray(b_ub, dtype=np.float64).reshape(-1)
+    a_eq = np.asarray(a_eq, dtype=np.float64).reshape(-1, n) if np.size(a_eq) else np.empty((0, n))
+    b_eq = np.asarray(b_eq, dtype=np.float64).reshape(-1)
+
+    # Shift variables so every lower bound becomes zero: x = y + lower.
+    lowers = np.array([low for low, _ in bounds], dtype=np.float64)
+    uppers = [up for _, up in bounds]
+    shifted_b_ub = b_ub - a_ub @ lowers if len(b_ub) else b_ub
+    shifted_b_eq = b_eq - a_eq @ lowers if len(b_eq) else b_eq
+    constant_term = float(c @ lowers)
+
+    # Upper bounds become additional <= rows on the shifted variables.
+    extra_rows = []
+    extra_rhs = []
+    for j, upper in enumerate(uppers):
+        if upper is None:
+            continue
+        row = np.zeros(n)
+        row[j] = 1.0
+        extra_rows.append(row)
+        extra_rhs.append(upper - lowers[j])
+    if extra_rows:
+        a_ub_full = np.vstack([a_ub, np.array(extra_rows)]) if a_ub.size else np.array(extra_rows)
+        b_ub_full = np.concatenate([shifted_b_ub, np.array(extra_rhs)])
+    else:
+        a_ub_full = a_ub
+        b_ub_full = shifted_b_ub
+
+    y, status, objective = _two_phase(c, a_ub_full, b_ub_full, a_eq, shifted_b_eq)
+    if status is not SimplexStatus.OPTIMAL:
+        return SimplexResult(status, np.empty(0), float("nan"))
+    x = y + lowers
+    return SimplexResult(SimplexStatus.OPTIMAL, x, objective + constant_term)
+
+
+def _two_phase(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+) -> tuple[np.ndarray, SimplexStatus, float]:
+    """Two-phase simplex on ``min c@y`` with y >= 0."""
+    n = len(c)
+    num_ub = a_ub.shape[0]
+    num_eq = a_eq.shape[0]
+    m = num_ub + num_eq
+
+    # Standard form: A y' = b with slacks on the <= rows, b >= 0.
+    a = np.zeros((m, n + num_ub))
+    b = np.zeros(m)
+    if num_ub:
+        a[:num_ub, :n] = a_ub
+        a[:num_ub, n : n + num_ub] = np.eye(num_ub)
+        b[:num_ub] = b_ub
+    if num_eq:
+        a[num_ub:, :n] = a_eq
+        b[num_ub:] = b_eq
+
+    # Make rhs non-negative.
+    for i in range(m):
+        if b[i] < 0:
+            a[i, :] *= -1
+            b[i] *= -1
+
+    total_vars = n + num_ub
+
+    # Phase 1: add artificial variables and minimise their sum.
+    a_phase1 = np.hstack([a, np.eye(m)])
+    c_phase1 = np.concatenate([np.zeros(total_vars), np.ones(m)])
+    basis = list(range(total_vars, total_vars + m))
+    tableau, basis, status = _simplex_core(a_phase1, b, c_phase1, basis)
+    if status is not SimplexStatus.OPTIMAL:
+        return np.empty(0), status, float("nan")
+    phase1_objective = tableau[-1, -1]
+    if phase1_objective > 1e-7:
+        return np.empty(0), SimplexStatus.INFEASIBLE, float("nan")
+
+    # Drive artificial variables out of the basis where possible.
+    a_current = tableau[:-1, : total_vars + m]
+    b_current = tableau[:-1, -1]
+    for row, var in enumerate(basis):
+        if var < total_vars:
+            continue
+        pivot_col = next(
+            (j for j in range(total_vars) if abs(a_current[row, j]) > _EPSILON), None
+        )
+        if pivot_col is None:
+            continue
+        _pivot(tableau, row, pivot_col)
+        basis[row] = pivot_col
+
+    # Phase 2: original objective on the (artificial-free) columns.
+    a2 = tableau[:-1, :total_vars]
+    b2 = tableau[:-1, -1]
+    c2 = np.concatenate([c, np.zeros(num_ub)])
+    # Rows whose basic variable is still artificial correspond to redundant
+    # constraints; they are kept with their (zero-valued) artificial basic
+    # variable treated as a zero column in phase 2.
+    keep_rows = [i for i, var in enumerate(basis) if var < total_vars]
+    if len(keep_rows) < len(basis):
+        a2 = a2[keep_rows]
+        b2 = b2[keep_rows]
+        basis = [basis[i] for i in keep_rows]
+
+    tableau2, basis, status = _simplex_core(a2, b2, c2, basis)
+    if status is not SimplexStatus.OPTIMAL:
+        return np.empty(0), status, float("nan")
+
+    solution = np.zeros(total_vars)
+    for row, var in enumerate(basis):
+        if var < total_vars:
+            solution[var] = tableau2[row, -1]
+    objective = float(c2 @ solution)
+    return solution[:n], SimplexStatus.OPTIMAL, objective
+
+
+def _simplex_core(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, basis: list[int]
+) -> tuple[np.ndarray, list[int], SimplexStatus]:
+    """Run primal simplex from a given basic feasible solution.
+
+    Returns the final tableau (with the objective row last), the final basis,
+    and the status.
+    """
+    m, n = a.shape
+    tableau = np.zeros((m + 1, n + 1))
+    tableau[:m, :n] = a
+    tableau[:m, -1] = b
+    tableau[-1, :n] = c
+
+    # Price out the initial basis so reduced costs are consistent.
+    for row, var in enumerate(basis):
+        if abs(tableau[-1, var]) > _EPSILON:
+            tableau[-1, :] -= tableau[-1, var] * tableau[row, :] / tableau[row, var]
+
+    max_iterations = _MAX_ITERATIONS_FACTOR * (m + n + 1)
+    for _ in range(max_iterations):
+        reduced_costs = tableau[-1, :n]
+        entering = next((j for j in range(n) if reduced_costs[j] < -_EPSILON), None)
+        if entering is None:
+            # Optimal: flip objective row sign convention (we track -z in the corner).
+            tableau[-1, -1] = -tableau[-1, -1]
+            return tableau, basis, SimplexStatus.OPTIMAL
+
+        ratios = []
+        for i in range(m):
+            coef = tableau[i, entering]
+            if coef > _EPSILON:
+                ratios.append((tableau[i, -1] / coef, basis[i], i))
+        if not ratios:
+            return tableau, basis, SimplexStatus.UNBOUNDED
+        # Bland's rule: smallest ratio, ties broken by smallest basic-variable index.
+        ratios.sort(key=lambda item: (item[0], item[1]))
+        leaving_row = ratios[0][2]
+
+        _pivot(tableau, leaving_row, entering)
+        basis[leaving_row] = entering
+
+    return tableau, basis, SimplexStatus.ITERATION_LIMIT
+
+
+def _pivot(tableau: np.ndarray, row: int, column: int) -> None:
+    """Perform a Gauss-Jordan pivot on (row, column) in place."""
+    tableau[row, :] /= tableau[row, column]
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, column]) > _EPSILON:
+            tableau[i, :] -= tableau[i, column] * tableau[row, :]

@@ -1,0 +1,86 @@
+"""Solver status codes, statistics and solution containers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolverStatus(enum.Enum):
+    """Outcome of an LP or ILP solve."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"          # A feasible incumbent exists but optimality was not proven.
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    CAPACITY_EXCEEDED = "capacity_exceeded"  # Problem too large for configured limits.
+    TIME_LIMIT = "time_limit"
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether a variable assignment accompanies this status."""
+        return self in (SolverStatus.OPTIMAL, SolverStatus.FEASIBLE)
+
+    @property
+    def is_failure(self) -> bool:
+        """Whether the solve failed for a non-infeasibility reason."""
+        return self in (SolverStatus.CAPACITY_EXCEEDED, SolverStatus.TIME_LIMIT, SolverStatus.ERROR)
+
+
+@dataclass
+class SolveStats:
+    """Statistics accumulated during a solve."""
+
+    nodes_explored: int = 0
+    lp_solves: int = 0
+    incumbent_updates: int = 0
+    best_bound: float = float("nan")
+    wall_time_seconds: float = 0.0
+    gap: float = float("nan")
+
+
+@dataclass
+class Solution:
+    """Result of solving an :class:`~repro.ilp.model.IlpModel`.
+
+    Attributes:
+        status: Solve outcome.
+        values: Variable assignment (empty array when no solution exists).
+        objective_value: Objective under ``values`` in the model's own sense
+            (NaN when no solution exists).
+        stats: Solver statistics.
+    """
+
+    status: SolverStatus
+    values: np.ndarray = field(default_factory=lambda: np.empty(0))
+    objective_value: float = float("nan")
+    stats: SolveStats = field(default_factory=SolveStats)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolverStatus.OPTIMAL
+
+    @property
+    def has_solution(self) -> bool:
+        return self.status.has_solution
+
+    def value_of(self, index: int) -> float:
+        """Return the value of variable ``index`` (0.0 when no solution)."""
+        if not self.has_solution or index >= len(self.values):
+            return 0.0
+        return float(self.values[index])
+
+    def integral_values(self) -> np.ndarray:
+        """Return the assignment rounded to the nearest integers."""
+        return np.rint(self.values).astype(np.int64)
+
+    @classmethod
+    def infeasible(cls, stats: SolveStats | None = None) -> "Solution":
+        return cls(SolverStatus.INFEASIBLE, stats=stats or SolveStats())
+
+    @classmethod
+    def failure(cls, status: SolverStatus, stats: SolveStats | None = None) -> "Solution":
+        return cls(status, stats=stats or SolveStats())

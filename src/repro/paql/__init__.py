@@ -1,0 +1,40 @@
+"""PaQL — the Package Query Language.
+
+Implements the declarative language of Section 2 of the paper:
+
+* :mod:`repro.paql.lexer` / :mod:`repro.paql.parser` — tokenizer and
+  recursive-descent parser for the Appendix A.4 grammar,
+* :mod:`repro.paql.ast` — the query AST (:class:`PackageQuery`, global
+  constraints, objective),
+* :mod:`repro.paql.validator` — semantic validation against a table schema,
+* :mod:`repro.paql.builder` — a fluent programmatic alternative to writing
+  PaQL text,
+* :mod:`repro.paql.pretty` — converts an AST back into canonical PaQL text.
+"""
+
+from repro.paql.ast import (
+    AggregateRef,
+    GlobalConstraint,
+    LinearAggregateExpression,
+    Objective,
+    ObjectiveDirection,
+    PackageQuery,
+)
+from repro.paql.parser import parse_paql
+from repro.paql.builder import PackageQueryBuilder, query_over
+from repro.paql.validator import validate_query
+from repro.paql.pretty import format_paql
+
+__all__ = [
+    "PackageQuery",
+    "GlobalConstraint",
+    "AggregateRef",
+    "LinearAggregateExpression",
+    "Objective",
+    "ObjectiveDirection",
+    "parse_paql",
+    "PackageQueryBuilder",
+    "query_over",
+    "validate_query",
+    "format_paql",
+]

@@ -1,0 +1,232 @@
+"""Fluent programmatic construction of PaQL queries.
+
+Writing PaQL text is the user-facing interface, but workload generators and
+tests benefit from a builder that constructs the AST directly::
+
+    query = (
+        query_over("recipes")
+        .no_repetition()
+        .where(col("gluten") == "free")
+        .count_equals(3)
+        .sum_between("kcal", 2.0, 2.5)
+        .minimize_sum("saturated_fat")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from repro.db.aggregates import AggregateFunction
+from repro.db.expressions import Expression
+from repro.paql.ast import (
+    AggregateRef,
+    ConstraintSenseKeyword,
+    GlobalConstraint,
+    LinearAggregateExpression,
+    Objective,
+    ObjectiveDirection,
+    PackageQuery,
+)
+
+
+class PackageQueryBuilder:
+    """Incrementally build a :class:`~repro.paql.ast.PackageQuery`."""
+
+    def __init__(self, relation: str, name: str | None = None):
+        self._relation = relation
+        self._name = name
+        self._repeat: int | None = None
+        self._base_predicate: Expression | None = None
+        self._constraints: list[GlobalConstraint] = []
+        self._objective: Objective | None = None
+
+    # -- FROM clause options ----------------------------------------------------------
+
+    def named(self, name: str) -> "PackageQueryBuilder":
+        """Attach a human-readable name (used in benchmark reports)."""
+        self._name = name
+        return self
+
+    def repeat(self, k: int) -> "PackageQueryBuilder":
+        """Allow each tuple to appear up to ``k`` additional times (REPEAT k)."""
+        self._repeat = k
+        return self
+
+    def no_repetition(self) -> "PackageQueryBuilder":
+        """Forbid repeated tuples (REPEAT 0)."""
+        return self.repeat(0)
+
+    # -- WHERE clause -------------------------------------------------------------------
+
+    def where(self, predicate: Expression) -> "PackageQueryBuilder":
+        """Set (or AND-extend) the base predicate."""
+        if self._base_predicate is None:
+            self._base_predicate = predicate
+        else:
+            self._base_predicate = self._base_predicate & predicate
+        return self
+
+    # -- SUCH THAT clause -----------------------------------------------------------------
+
+    def constrain(self, constraint: GlobalConstraint) -> "PackageQueryBuilder":
+        """Add an arbitrary pre-built global constraint."""
+        self._constraints.append(constraint)
+        return self
+
+    def count_equals(self, value: float) -> "PackageQueryBuilder":
+        """COUNT(P.*) = value."""
+        return self._add_simple(AggregateRef(AggregateFunction.COUNT), ConstraintSenseKeyword.EQ, value)
+
+    def count_at_most(self, value: float) -> "PackageQueryBuilder":
+        """COUNT(P.*) <= value."""
+        return self._add_simple(AggregateRef(AggregateFunction.COUNT), ConstraintSenseKeyword.LE, value)
+
+    def count_at_least(self, value: float) -> "PackageQueryBuilder":
+        """COUNT(P.*) >= value."""
+        return self._add_simple(AggregateRef(AggregateFunction.COUNT), ConstraintSenseKeyword.GE, value)
+
+    def count_between(self, low: float, high: float) -> "PackageQueryBuilder":
+        """low <= COUNT(P.*) <= high."""
+        return self._add_between(AggregateRef(AggregateFunction.COUNT), low, high)
+
+    def sum_at_most(self, column: str, value: float) -> "PackageQueryBuilder":
+        """SUM(P.column) <= value."""
+        return self._add_simple(
+            AggregateRef(AggregateFunction.SUM, column), ConstraintSenseKeyword.LE, value
+        )
+
+    def sum_at_least(self, column: str, value: float) -> "PackageQueryBuilder":
+        """SUM(P.column) >= value."""
+        return self._add_simple(
+            AggregateRef(AggregateFunction.SUM, column), ConstraintSenseKeyword.GE, value
+        )
+
+    def sum_between(self, column: str, low: float, high: float) -> "PackageQueryBuilder":
+        """low <= SUM(P.column) <= high."""
+        return self._add_between(AggregateRef(AggregateFunction.SUM, column), low, high)
+
+    def sum_equals(self, column: str, value: float) -> "PackageQueryBuilder":
+        """SUM(P.column) = value."""
+        return self._add_simple(
+            AggregateRef(AggregateFunction.SUM, column), ConstraintSenseKeyword.EQ, value
+        )
+
+    def avg_at_most(self, column: str, value: float) -> "PackageQueryBuilder":
+        """AVG(P.column) <= value."""
+        return self._add_simple(
+            AggregateRef(AggregateFunction.AVG, column), ConstraintSenseKeyword.LE, value
+        )
+
+    def avg_at_least(self, column: str, value: float) -> "PackageQueryBuilder":
+        """AVG(P.column) >= value."""
+        return self._add_simple(
+            AggregateRef(AggregateFunction.AVG, column), ConstraintSenseKeyword.GE, value
+        )
+
+    def filtered_count_at_least(
+        self, condition: Expression, value: float
+    ) -> "PackageQueryBuilder":
+        """(SELECT COUNT(*) FROM P WHERE condition) >= value."""
+        aggregate = AggregateRef(AggregateFunction.COUNT, filter=condition)
+        return self._add_simple(aggregate, ConstraintSenseKeyword.GE, value)
+
+    def filtered_count_at_most(
+        self, condition: Expression, value: float
+    ) -> "PackageQueryBuilder":
+        """(SELECT COUNT(*) FROM P WHERE condition) <= value."""
+        aggregate = AggregateRef(AggregateFunction.COUNT, filter=condition)
+        return self._add_simple(aggregate, ConstraintSenseKeyword.LE, value)
+
+    def compare_counts(
+        self, left_condition: Expression, right_condition: Expression
+    ) -> "PackageQueryBuilder":
+        """(COUNT where left) >= (COUNT where right), the paper's example."""
+        expression = LinearAggregateExpression(
+            [
+                (1.0, AggregateRef(AggregateFunction.COUNT, filter=left_condition)),
+                (-1.0, AggregateRef(AggregateFunction.COUNT, filter=right_condition)),
+            ]
+        )
+        self._constraints.append(
+            GlobalConstraint(expression, ConstraintSenseKeyword.GE, 0.0)
+        )
+        return self
+
+    # -- objective --------------------------------------------------------------------------
+
+    def minimize_sum(self, column: str) -> "PackageQueryBuilder":
+        """MINIMIZE SUM(P.column)."""
+        return self._set_objective(ObjectiveDirection.MINIMIZE, column)
+
+    def maximize_sum(self, column: str) -> "PackageQueryBuilder":
+        """MAXIMIZE SUM(P.column)."""
+        return self._set_objective(ObjectiveDirection.MAXIMIZE, column)
+
+    def minimize_count(self) -> "PackageQueryBuilder":
+        """MINIMIZE COUNT(P.*)."""
+        self._objective = Objective(
+            ObjectiveDirection.MINIMIZE,
+            LinearAggregateExpression.of(AggregateRef(AggregateFunction.COUNT)),
+        )
+        return self
+
+    def maximize_count(self) -> "PackageQueryBuilder":
+        """MAXIMIZE COUNT(P.*)."""
+        self._objective = Objective(
+            ObjectiveDirection.MAXIMIZE,
+            LinearAggregateExpression.of(AggregateRef(AggregateFunction.COUNT)),
+        )
+        return self
+
+    def objective(self, objective: Objective) -> "PackageQueryBuilder":
+        """Set an arbitrary pre-built objective."""
+        self._objective = objective
+        return self
+
+    # -- build -------------------------------------------------------------------------------
+
+    def build(self) -> PackageQuery:
+        """Return the assembled :class:`PackageQuery`."""
+        return PackageQuery(
+            relation=self._relation,
+            repeat=self._repeat,
+            base_predicate=self._base_predicate,
+            global_constraints=list(self._constraints),
+            objective=self._objective,
+            name=self._name,
+        )
+
+    # -- internals ------------------------------------------------------------------------------
+
+    def _add_simple(
+        self, aggregate: AggregateRef, sense: ConstraintSenseKeyword, value: float
+    ) -> "PackageQueryBuilder":
+        self._constraints.append(
+            GlobalConstraint(LinearAggregateExpression.of(aggregate), sense, float(value))
+        )
+        return self
+
+    def _add_between(
+        self, aggregate: AggregateRef, low: float, high: float
+    ) -> "PackageQueryBuilder":
+        self._constraints.append(
+            GlobalConstraint(
+                LinearAggregateExpression.of(aggregate),
+                ConstraintSenseKeyword.BETWEEN,
+                float(low),
+                float(high),
+            )
+        )
+        return self
+
+    def _set_objective(self, direction: ObjectiveDirection, column: str) -> "PackageQueryBuilder":
+        self._objective = Objective(
+            direction,
+            LinearAggregateExpression.of(AggregateRef(AggregateFunction.SUM, column)),
+        )
+        return self
+
+
+def query_over(relation: str, name: str | None = None) -> PackageQueryBuilder:
+    """Start building a package query over ``relation``."""
+    return PackageQueryBuilder(relation, name=name)

@@ -1,0 +1,169 @@
+"""Tokenizer for PaQL text.
+
+The token set covers the Appendix A.4 grammar: SQL-style keywords, identifiers
+(optionally qualified, e.g. ``R.kcal`` or ``P.*``), numeric and string
+literals, comparison and arithmetic operators, and punctuation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PaQLSyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "PACKAGE",
+    "AS",
+    "FROM",
+    "REPEAT",
+    "WHERE",
+    "SUCH",
+    "THAT",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "BETWEEN",
+    "MINIMIZE",
+    "MAXIMIZE",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"      # = <> <= >= < >
+    ARITHMETIC = "arithmetic"  # + - * /
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    STAR = "*"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == keyword
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split PaQL text into tokens, raising :class:`PaQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(text)
+
+    def push(token_type: TokenType, value: str) -> None:
+        tokens.append(Token(token_type, value, line, column))
+
+    while i < length:
+        ch = text[i]
+
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            column += 1
+            i += 1
+            continue
+        if ch == "-" and i + 1 < length and text[i + 1] == "-":
+            # SQL-style line comment.
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end == -1:
+                raise PaQLSyntaxError("unterminated string literal", line, column)
+            push(TokenType.STRING, text[i + 1 : end])
+            column += end - i + 1
+            i = end + 1
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exponent = False
+            while j < length:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exponent:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exponent and j > i:
+                    seen_exponent = True
+                    j += 1
+                    if j < length and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            push(TokenType.NUMBER, text[i:j])
+            column += j - i
+            i = j
+            continue
+
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                push(TokenType.KEYWORD, upper)
+            else:
+                push(TokenType.IDENTIFIER, word)
+            column += j - i
+            i = j
+            continue
+
+        two = text[i : i + 2]
+        if two in ("<=", ">=", "<>", "!="):
+            push(TokenType.OPERATOR, "<>" if two == "!=" else two)
+            column += 2
+            i += 2
+            continue
+        if ch in "=<>":
+            push(TokenType.OPERATOR, ch)
+        elif ch in "+-/":
+            push(TokenType.ARITHMETIC, ch)
+        elif ch == "*":
+            push(TokenType.STAR, ch)
+        elif ch == "(":
+            push(TokenType.LPAREN, ch)
+        elif ch == ")":
+            push(TokenType.RPAREN, ch)
+        elif ch == ",":
+            push(TokenType.COMMA, ch)
+        elif ch == ".":
+            push(TokenType.DOT, ch)
+        else:
+            raise PaQLSyntaxError(f"unexpected character {ch!r}", line, column)
+        column += 1
+        i += 1
+
+    tokens.append(Token(TokenType.END, "", line, column))
+    return tokens

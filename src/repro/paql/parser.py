@@ -1,0 +1,460 @@
+"""Recursive-descent parser for PaQL.
+
+Implements the grammar of Appendix A.4 of the paper:
+
+.. code-block:: text
+
+    SELECT PACKAGE(rel_alias) [AS] package_name
+    FROM rel_name [AS] rel_alias [REPEAT repeat]
+    [ WHERE w_condition ]
+    [ SUCH THAT st_condition ]
+    [ (MINIMIZE | MAXIMIZE) objective ]
+
+``w_condition`` is an ordinary per-tuple boolean expression; ``st_condition``
+is a conjunction of global constraints over package aggregates, where each
+aggregate is written either as ``SUM(P.attr)`` / ``COUNT(P.*)`` / ``AVG(P.attr)``
+or as the sub-query form ``(SELECT COUNT(*) FROM P WHERE <condition>)``.
+
+Comparisons between two aggregate expressions are normalised so the constant
+ends up on the right-hand side (e.g. ``f(P) >= g(P)`` becomes
+``f(P) - g(P) >= 0``), matching the translation rules of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from repro.db.aggregates import AggregateFunction
+from repro.db.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOperator,
+    Expression,
+    Literal,
+    LogicalOp,
+    LogicalOperator,
+    Not,
+)
+from repro.errors import PaQLSyntaxError
+from repro.paql.ast import (
+    AggregateRef,
+    ConstraintSenseKeyword,
+    GlobalConstraint,
+    LinearAggregateExpression,
+    Objective,
+    ObjectiveDirection,
+    PackageQuery,
+)
+from repro.paql.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPERATORS = {
+    "=": ComparisonOperator.EQ,
+    "<>": ComparisonOperator.NE,
+    "<": ComparisonOperator.LT,
+    "<=": ComparisonOperator.LE,
+    ">": ComparisonOperator.GT,
+    ">=": ComparisonOperator.GE,
+}
+
+_GLOBAL_SENSES = {
+    "=": ConstraintSenseKeyword.EQ,
+    "<=": ConstraintSenseKeyword.LE,
+    ">=": ConstraintSenseKeyword.GE,
+    # Strict inequalities are accepted and treated as their non-strict
+    # counterparts (the paper's formal language only uses <= and >=).
+    "<": ConstraintSenseKeyword.LE,
+    ">": ConstraintSenseKeyword.GE,
+}
+
+
+def parse_paql(text: str) -> PackageQuery:
+    """Parse PaQL text into a :class:`~repro.paql.ast.PackageQuery`."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+        self._package_alias = "P"
+        self._relation_alias = "R"
+
+    # -- token plumbing ------------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._position += 1
+        return token
+
+    def _check_keyword(self, keyword: str) -> bool:
+        return self._current.matches_keyword(keyword)
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self._check_keyword(keyword):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        if not self._check_keyword(keyword):
+            raise self._error(f"expected keyword {keyword}")
+        return self._advance()
+
+    def _expect(self, token_type: TokenType) -> Token:
+        if self._current.type is not token_type:
+            raise self._error(f"expected {token_type.value}")
+        return self._advance()
+
+    def _error(self, message: str) -> PaQLSyntaxError:
+        token = self._current
+        found = token.value or "end of input"
+        return PaQLSyntaxError(f"{message}, found {found!r}", token.line, token.column)
+
+    # -- top level -------------------------------------------------------------------
+
+    def parse_query(self) -> PackageQuery:
+        self._expect_keyword("SELECT")
+        self._expect_keyword("PACKAGE")
+        self._expect(TokenType.LPAREN)
+        self._relation_alias = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.RPAREN)
+        package_alias = "P"
+        if self._accept_keyword("AS"):
+            package_alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._current.type is TokenType.IDENTIFIER:
+            package_alias = self._advance().value
+        self._package_alias = package_alias
+
+        self._expect_keyword("FROM")
+        relation = self._expect(TokenType.IDENTIFIER).value
+        relation_alias = self._relation_alias
+        if self._accept_keyword("AS"):
+            relation_alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._current.type is TokenType.IDENTIFIER:
+            relation_alias = self._advance().value
+        self._relation_alias = relation_alias
+
+        repeat: int | None = None
+        if self._accept_keyword("REPEAT"):
+            token = self._expect(TokenType.NUMBER)
+            repeat = int(float(token.value))
+
+        base_predicate: Expression | None = None
+        if self._accept_keyword("WHERE"):
+            base_predicate = self._parse_boolean_expression()
+
+        constraints: list[GlobalConstraint] = []
+        if self._accept_keyword("SUCH"):
+            self._expect_keyword("THAT")
+            constraints = self._parse_constraint_list()
+
+        objective: Objective | None = None
+        if self._check_keyword("MINIMIZE") or self._check_keyword("MAXIMIZE"):
+            direction = (
+                ObjectiveDirection.MINIMIZE
+                if self._advance().value == "MINIMIZE"
+                else ObjectiveDirection.MAXIMIZE
+            )
+            expression = self._parse_aggregate_expression()
+            objective = Objective(direction, expression)
+
+        if self._current.type is not TokenType.END:
+            raise self._error("unexpected trailing input")
+
+        return PackageQuery(
+            relation=relation,
+            package_alias=package_alias,
+            relation_alias=relation_alias,
+            repeat=repeat,
+            base_predicate=base_predicate,
+            global_constraints=constraints,
+            objective=objective,
+        )
+
+    # -- WHERE clause (per-tuple boolean expressions) -----------------------------------
+
+    def _parse_boolean_expression(self) -> Expression:
+        left = self._parse_boolean_term()
+        while self._check_keyword("OR"):
+            self._advance()
+            right = self._parse_boolean_term()
+            left = LogicalOp(LogicalOperator.OR, [left, right])
+        return left
+
+    def _parse_boolean_term(self) -> Expression:
+        left = self._parse_boolean_factor()
+        while self._check_keyword("AND"):
+            self._advance()
+            right = self._parse_boolean_factor()
+            left = LogicalOp(LogicalOperator.AND, [left, right])
+        return left
+
+    def _parse_boolean_factor(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return Not(self._parse_boolean_factor())
+        if self._current.type is TokenType.LPAREN and self._looks_like_boolean_group():
+            self._advance()
+            expression = self._parse_boolean_expression()
+            self._expect(TokenType.RPAREN)
+            return expression
+        return self._parse_comparison()
+
+    def _looks_like_boolean_group(self) -> bool:
+        """Distinguish ``(a = 1 OR b = 2)`` from an arithmetic group ``(a + b) > 1``.
+
+        Scan forward to the matching close paren: if a comparison operator or
+        BETWEEN/IN occurs inside, it is a boolean group.
+        """
+        depth = 0
+        for index in range(self._position, len(self._tokens)):
+            token = self._tokens[index]
+            if token.type is TokenType.LPAREN:
+                depth += 1
+            elif token.type is TokenType.RPAREN:
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth == 1 and (
+                token.type is TokenType.OPERATOR
+                or token.matches_keyword("BETWEEN")
+                or token.matches_keyword("IN")
+            ):
+                return True
+        return False
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_arithmetic()
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_arithmetic()
+            self._expect_keyword("AND")
+            high = self._parse_arithmetic()
+            return LogicalOp(
+                LogicalOperator.AND,
+                [
+                    Comparison(left, ComparisonOperator.GE, low),
+                    Comparison(left, ComparisonOperator.LE, high),
+                ],
+            )
+        if self._accept_keyword("IN"):
+            self._expect(TokenType.LPAREN)
+            values = [self._parse_literal_value()]
+            while self._current.type is TokenType.COMMA:
+                self._advance()
+                values.append(self._parse_literal_value())
+            self._expect(TokenType.RPAREN)
+            return left.isin(values)
+        if self._current.type is TokenType.OPERATOR:
+            operator = _COMPARISON_OPERATORS[self._advance().value]
+            right = self._parse_arithmetic()
+            return Comparison(left, operator, right)
+        raise self._error("expected a comparison operator")
+
+    def _parse_literal_value(self) -> object:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return float(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        raise self._error("expected a literal value")
+
+    def _parse_arithmetic(self) -> Expression:
+        left = self._parse_term()
+        while self._current.type is TokenType.ARITHMETIC and self._current.value in "+-":
+            operator = self._advance().value
+            right = self._parse_term()
+            left = left + right if operator == "+" else left - right
+        return left
+
+    def _parse_term(self) -> Expression:
+        left = self._parse_unary()
+        while (
+            self._current.type is TokenType.STAR
+            or (self._current.type is TokenType.ARITHMETIC and self._current.value == "/")
+        ):
+            operator = self._advance().value
+            right = self._parse_unary()
+            left = left * right if operator == "*" else left / right
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self._current.type is TokenType.ARITHMETIC and self._current.value == "-":
+            self._advance()
+            return -self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expression = self._parse_arithmetic()
+            self._expect(TokenType.RPAREN)
+            return expression
+        if token.type is TokenType.IDENTIFIER:
+            return ColumnRef(self._parse_column_name())
+        raise self._error("expected an expression")
+
+    def _parse_column_name(self) -> str:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._current.type is TokenType.DOT:
+            self._advance()
+            if self._current.type is TokenType.STAR:
+                raise self._error("'*' is only valid inside COUNT()")
+            second = self._expect(TokenType.IDENTIFIER).value
+            # Qualified reference: alias.column — the alias is dropped because
+            # package queries operate over a single relation.
+            return second
+        return first
+
+    # -- SUCH THAT clause (global constraints) -------------------------------------------
+
+    def _parse_constraint_list(self) -> list[GlobalConstraint]:
+        constraints = [self._parse_constraint()]
+        while self._check_keyword("AND"):
+            self._advance()
+            constraints.append(self._parse_constraint())
+        if self._check_keyword("OR"):
+            raise self._error(
+                "disjunctions of global constraints are not supported by the translator"
+            )
+        return constraints
+
+    def _parse_constraint(self) -> GlobalConstraint:
+        left = self._parse_aggregate_expression()
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_aggregate_expression()
+            self._expect_keyword("AND")
+            high = self._parse_aggregate_expression()
+            if not low.is_constant or not high.is_constant:
+                raise self._error("BETWEEN bounds must be constants")
+            return GlobalConstraint(
+                expression=LinearAggregateExpression(list(left.terms)),
+                sense=ConstraintSenseKeyword.BETWEEN,
+                lower=low.constant - left.constant,
+                upper=high.constant - left.constant,
+            )
+        if self._current.type is not TokenType.OPERATOR:
+            raise self._error("expected a comparison in global constraint")
+        operator = self._advance().value
+        if operator == "<>":
+            raise self._error("'<>' is not a valid global-constraint comparison")
+        sense = _GLOBAL_SENSES[operator]
+        right = self._parse_aggregate_expression()
+        difference = left.plus(right.negated())
+        return GlobalConstraint(
+            expression=LinearAggregateExpression(list(difference.terms)),
+            sense=sense,
+            lower=-difference.constant,
+        )
+
+    def _parse_aggregate_expression(self) -> LinearAggregateExpression:
+        expression = self._parse_aggregate_term()
+        while self._current.type is TokenType.ARITHMETIC and self._current.value in "+-":
+            operator = self._advance().value
+            term = self._parse_aggregate_term()
+            expression = expression.plus(term if operator == "+" else term.negated())
+        return expression
+
+    def _parse_aggregate_term(self) -> LinearAggregateExpression:
+        factor = self._parse_aggregate_factor()
+        while self._current.type is TokenType.STAR or (
+            self._current.type is TokenType.ARITHMETIC and self._current.value == "/"
+        ):
+            operator = self._advance().value
+            other = self._parse_aggregate_factor()
+            if operator == "*":
+                factor = self._multiply(factor, other)
+            else:
+                if not other.is_constant or other.constant == 0:
+                    raise self._error("can only divide an aggregate by a non-zero constant")
+                factor = factor.scaled(1.0 / other.constant)
+        return factor
+
+    def _multiply(
+        self, left: LinearAggregateExpression, right: LinearAggregateExpression
+    ) -> LinearAggregateExpression:
+        if left.is_constant:
+            return right.scaled(left.constant)
+        if right.is_constant:
+            return left.scaled(right.constant)
+        raise self._error("products of aggregates are non-linear and not supported")
+
+    def _parse_aggregate_factor(self) -> LinearAggregateExpression:
+        token = self._current
+        if token.type is TokenType.ARITHMETIC and token.value == "-":
+            self._advance()
+            return self._parse_aggregate_factor().negated()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return LinearAggregateExpression.constant_of(float(token.value))
+        if token.type is TokenType.KEYWORD and token.value in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            return LinearAggregateExpression.of(self._parse_simple_aggregate())
+        if token.type is TokenType.LPAREN:
+            if self._is_subquery():
+                return LinearAggregateExpression.of(self._parse_subquery_aggregate())
+            self._advance()
+            expression = self._parse_aggregate_expression()
+            self._expect(TokenType.RPAREN)
+            return expression
+        raise self._error("expected an aggregate or a constant")
+
+    def _is_subquery(self) -> bool:
+        next_token = self._tokens[self._position + 1]
+        return next_token.matches_keyword("SELECT")
+
+    def _parse_simple_aggregate(self) -> AggregateRef:
+        function = AggregateFunction.parse(self._advance().value)
+        self._expect(TokenType.LPAREN)
+        column: str | None = None
+        if self._current.type is TokenType.STAR:
+            self._advance()
+        else:
+            column = self._parse_package_column()
+        self._expect(TokenType.RPAREN)
+        if function is AggregateFunction.COUNT:
+            column = None
+        return AggregateRef(function, column)
+
+    def _parse_package_column(self) -> str | None:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._current.type is TokenType.DOT:
+            self._advance()
+            if self._current.type is TokenType.STAR:
+                self._advance()
+                return None
+            return self._expect(TokenType.IDENTIFIER).value
+        return first
+
+    def _parse_subquery_aggregate(self) -> AggregateRef:
+        """Parse ``(SELECT <AGG>(target) FROM P [WHERE condition])``."""
+        self._expect(TokenType.LPAREN)
+        self._expect_keyword("SELECT")
+        token = self._current
+        if not (token.type is TokenType.KEYWORD and token.value in ("COUNT", "SUM", "AVG")):
+            raise self._error("sub-query aggregate must be COUNT, SUM or AVG")
+        function = AggregateFunction.parse(self._advance().value)
+        self._expect(TokenType.LPAREN)
+        column: str | None = None
+        if self._current.type is TokenType.STAR:
+            self._advance()
+        else:
+            column = self._parse_package_column()
+        self._expect(TokenType.RPAREN)
+        self._expect_keyword("FROM")
+        self._expect(TokenType.IDENTIFIER)  # The package alias.
+        condition: Expression | None = None
+        if self._accept_keyword("WHERE"):
+            condition = self._parse_boolean_expression()
+        self._expect(TokenType.RPAREN)
+        if function is AggregateFunction.COUNT:
+            column = None
+        return AggregateRef(function, column, filter=condition)

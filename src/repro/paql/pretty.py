@@ -1,0 +1,128 @@
+"""Render a :class:`~repro.paql.ast.PackageQuery` back to canonical PaQL text.
+
+The formatter is the inverse of the parser on the supported fragment: for any
+query the parser produces, ``parse_paql(format_paql(query))`` yields an
+equivalent query (a property exercised by the round-trip tests).
+"""
+
+from __future__ import annotations
+
+from repro.db.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    LogicalOp,
+    Not,
+)
+from repro.paql.ast import (
+    AggregateRef,
+    ConstraintSenseKeyword,
+    GlobalConstraint,
+    LinearAggregateExpression,
+    PackageQuery,
+)
+
+
+def format_paql(query: PackageQuery) -> str:
+    """Return canonical PaQL text for ``query``."""
+    lines = [
+        f"SELECT PACKAGE({query.relation_alias}) AS {query.package_alias}",
+    ]
+    from_line = f"FROM {query.relation} {query.relation_alias}"
+    if query.repeat is not None:
+        from_line += f" REPEAT {query.repeat}"
+    lines.append(from_line)
+    if query.base_predicate is not None:
+        lines.append(f"WHERE {format_expression(query.base_predicate, query.relation_alias)}")
+    if query.global_constraints:
+        constraint_text = " AND\n          ".join(
+            _format_constraint(c, query.package_alias) for c in query.global_constraints
+        )
+        lines.append(f"SUCH THAT {constraint_text}")
+    if query.objective is not None:
+        lines.append(
+            f"{query.objective.direction.value} "
+            f"{_format_linear(query.objective.expression, query.package_alias)}"
+        )
+    return "\n".join(lines)
+
+
+def format_expression(expression: Expression, alias: str) -> str:
+    """Format a per-tuple expression, qualifying column references with ``alias``."""
+    if isinstance(expression, ColumnRef):
+        return f"{alias}.{expression.name}"
+    if isinstance(expression, Literal):
+        if isinstance(expression.value, str):
+            return f"'{expression.value}'"
+        return _format_number(float(expression.value))
+    if isinstance(expression, BinaryOp):
+        return (
+            f"({format_expression(expression.left, alias)} {expression.op.value} "
+            f"{format_expression(expression.right, alias)})"
+        )
+    if isinstance(expression, Comparison):
+        return (
+            f"{format_expression(expression.left, alias)} {expression.op.value} "
+            f"{format_expression(expression.right, alias)}"
+        )
+    if isinstance(expression, LogicalOp):
+        joiner = f" {expression.op.value} "
+        return "(" + joiner.join(format_expression(o, alias) for o in expression.operands) + ")"
+    if isinstance(expression, Not):
+        return f"NOT {format_expression(expression.operand, alias)}"
+    if isinstance(expression, InList):
+        values = ", ".join(
+            f"'{v}'" if isinstance(v, str) else _format_number(float(v)) for v in expression.values
+        )
+        return f"{format_expression(expression.operand, alias)} IN ({values})"
+    raise TypeError(f"cannot format expression of type {type(expression).__name__}")
+
+
+def _format_constraint(constraint: GlobalConstraint, alias: str) -> str:
+    lhs = _format_linear(constraint.expression, alias)
+    if constraint.sense is ConstraintSenseKeyword.BETWEEN:
+        return f"{lhs} BETWEEN {_format_number(constraint.lower)} AND {_format_number(constraint.upper)}"
+    return f"{lhs} {constraint.sense.value} {_format_number(constraint.lower)}"
+
+
+def _format_linear(expression: LinearAggregateExpression, alias: str) -> str:
+    parts: list[str] = []
+    for coefficient, aggregate in expression.terms:
+        aggregate_text = _format_aggregate(aggregate, alias)
+        if coefficient == 1.0:
+            term = aggregate_text
+        elif coefficient == -1.0:
+            term = f"- {aggregate_text}"
+        else:
+            term = f"{_format_number(coefficient)} * {aggregate_text}"
+        parts.append(term)
+    if expression.constant:
+        parts.append(_format_number(expression.constant))
+    if not parts:
+        return "0"
+    text = parts[0]
+    for part in parts[1:]:
+        text += f" - {part[2:]}" if part.startswith("- ") else f" + {part}"
+    return text
+
+
+def _format_aggregate(aggregate: AggregateRef, alias: str) -> str:
+    target = f"{alias}.{aggregate.column}" if aggregate.column else f"{alias}.*"
+    if aggregate.filter is None:
+        return f"{aggregate.function.value}({target})"
+    inner_target = "*" if aggregate.column is None else aggregate.column
+    condition = format_expression(aggregate.filter, alias)
+    return (
+        f"(SELECT {aggregate.function.value}({inner_target}) FROM {alias} WHERE {condition})"
+    )
+
+
+def _format_number(value: float | None) -> str:
+    if value is None:
+        return "0"
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))

@@ -1,0 +1,80 @@
+"""Semantic validation of PaQL queries against a table schema.
+
+Parsing only checks syntax; validation checks that the query makes sense for
+a concrete input relation:
+
+* every referenced column exists,
+* columns used in aggregates and the objective are numeric,
+* AVG constraints can be linearised (they need a plain, unfiltered aggregate),
+* the query stays within the linear fragment handled by the translation rules.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.schema import Schema
+from repro.db.aggregates import AggregateFunction
+from repro.errors import PaQLValidationError
+from repro.paql.ast import AggregateRef, GlobalConstraint, PackageQuery
+
+
+def validate_query(query: PackageQuery, schema: Schema) -> None:
+    """Raise :class:`PaQLValidationError` if ``query`` is invalid for ``schema``."""
+    _validate_columns_exist(query, schema)
+    _validate_numeric_usage(query, schema)
+    for constraint in query.global_constraints:
+        _validate_constraint(constraint)
+    if query.objective is not None:
+        for _, aggregate in query.objective.expression.terms:
+            _validate_aggregate(aggregate, in_objective=True)
+    if query.repeat is not None and query.repeat < 0:
+        raise PaQLValidationError("REPEAT must be non-negative")
+
+
+def _validate_columns_exist(query: PackageQuery, schema: Schema) -> None:
+    for column in sorted(query.referenced_columns):
+        if column not in schema:
+            raise PaQLValidationError(
+                f"query references unknown column {column!r} "
+                f"(relation {query.relation!r} has: {', '.join(schema.names)})"
+            )
+
+
+def _validate_numeric_usage(query: PackageQuery, schema: Schema) -> None:
+    aggregates: list[AggregateRef] = []
+    for constraint in query.global_constraints:
+        aggregates.extend(a for _, a in constraint.expression.terms)
+    if query.objective is not None:
+        aggregates.extend(a for _, a in query.objective.expression.terms)
+    for aggregate in aggregates:
+        if aggregate.column is not None and not schema[aggregate.column].is_numeric:
+            raise PaQLValidationError(
+                f"aggregate {aggregate.function.value} over non-numeric column {aggregate.column!r}"
+            )
+
+
+def _validate_constraint(constraint: GlobalConstraint) -> None:
+    if not constraint.expression.terms:
+        raise PaQLValidationError("a global constraint must reference at least one aggregate")
+    has_avg = any(a.function is AggregateFunction.AVG for _, a in constraint.expression.terms)
+    if has_avg and len(constraint.expression.terms) > 1:
+        raise PaQLValidationError(
+            "AVG can only appear alone in a global constraint "
+            "(the linearisation rewrites AVG(P.attr) <= v as SUM(P.attr - v) <= 0)"
+        )
+    for _, aggregate in constraint.expression.terms:
+        _validate_aggregate(aggregate, in_objective=False)
+
+
+def _validate_aggregate(aggregate: AggregateRef, in_objective: bool) -> None:
+    if not aggregate.function.is_linear:
+        raise PaQLValidationError(
+            f"{aggregate.function.value} is not a linear aggregate; "
+            "only COUNT, SUM and AVG are supported in package constraints"
+        )
+    if aggregate.function is AggregateFunction.AVG and in_objective:
+        raise PaQLValidationError(
+            "AVG objectives are ratio objectives and cannot be translated to a linear ILP; "
+            "use SUM with a cardinality constraint instead"
+        )
+    if aggregate.function is AggregateFunction.AVG and aggregate.filter is not None:
+        raise PaQLValidationError("filtered AVG aggregates are not supported")

@@ -1,0 +1,39 @@
+"""Offline data partitioning (Section 4.1 of the paper).
+
+SKETCHREFINE relies on an offline partitioning of the input relation into
+groups of similar tuples, each represented by its centroid.  This subpackage
+provides:
+
+* :class:`~repro.partition.partitioning.Partitioning` — the partitioning
+  object (group assignments, representative relation, metadata, persistence),
+* :class:`~repro.partition.quadtree.QuadTreePartitioner` — the paper's
+  k-dimensional quad-tree method honouring a size threshold τ and an optional
+  radius limit ω,
+* :class:`~repro.partition.kdtree.KdTreePartitioner` and
+  :class:`~repro.partition.kmeans.KMeansPartitioner` — the alternative
+  clustering approaches the paper discusses (median-split k-d trees and
+  Lloyd's k-means), kept for the ablation benchmarks,
+* :mod:`~repro.partition.radius` — Equation (1): the radius limit ω required
+  for a desired approximation parameter ε,
+* :mod:`~repro.partition.representatives` — centroid computation and the
+  representative relation ``R̃(gid, attr₁, …, attr_k)``.
+"""
+
+from repro.partition.partitioning import Partitioning, PartitioningStats
+from repro.partition.quadtree import QuadTreePartitioner
+from repro.partition.kdtree import KdTreePartitioner
+from repro.partition.kmeans import KMeansPartitioner
+from repro.partition.radius import omega_for_epsilon, epsilon_for_omega
+from repro.partition.representatives import build_representative_table, compute_centroids
+
+__all__ = [
+    "Partitioning",
+    "PartitioningStats",
+    "QuadTreePartitioner",
+    "KdTreePartitioner",
+    "KMeansPartitioner",
+    "omega_for_epsilon",
+    "epsilon_for_omega",
+    "build_representative_table",
+    "compute_centroids",
+]

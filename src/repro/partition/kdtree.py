@@ -1,0 +1,100 @@
+"""k-d tree (median split) partitioner.
+
+One of the alternative space-partitioning approaches the paper discusses
+(Section 4.1, "Alternative partitioning approaches").  Unlike the quad-tree,
+each split bisects the group on a single attribute at its median, which
+guarantees balanced group sizes and therefore reaches the size threshold in
+``ceil(log2(n / τ))`` levels.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.errors import PartitioningError
+from repro.partition.partitioning import Partitioning, PartitioningStats
+
+
+class KdTreePartitioner:
+    """Median-split binary partitioner honouring a size threshold and radius limit."""
+
+    def __init__(self, size_threshold: int, radius_limit: float | None = None, max_depth: int = 64):
+        if size_threshold < 1:
+            raise PartitioningError("size threshold must be at least 1")
+        self.size_threshold = int(size_threshold)
+        self.radius_limit = radius_limit
+        self.max_depth = max_depth
+
+    def partition(self, table: Table, attributes: list[str]) -> Partitioning:
+        """Partition ``table`` on the given numeric attributes."""
+        if not attributes:
+            raise PartitioningError("at least one partitioning attribute is required")
+        table.schema.require_numeric(attributes)
+        start = time.perf_counter()
+        matrix = np.nan_to_num(table.numeric_matrix(attributes))
+        n = table.num_rows
+        group_ids = np.zeros(n, dtype=np.int64)
+
+        final_groups: list[np.ndarray] = []
+        stack: list[tuple[np.ndarray, int]] = [(np.arange(n, dtype=np.int64), 0)]
+        while stack:
+            rows, depth = stack.pop()
+            if self._is_acceptable(matrix, rows) or depth >= self.max_depth:
+                final_groups.append(rows)
+                continue
+            left, right = self._median_split(matrix, rows, depth % len(attributes))
+            if not len(left) or not len(right):
+                final_groups.append(rows)
+                continue
+            stack.append((left, depth + 1))
+            stack.append((right, depth + 1))
+
+        for gid, rows in enumerate(final_groups):
+            group_ids[rows] = gid
+
+        sizes = np.array([len(rows) for rows in final_groups]) if final_groups else np.array([0])
+        stats = PartitioningStats(
+            num_groups=len(final_groups),
+            max_group_size=int(sizes.max()),
+            max_radius=0.0,
+            build_seconds=time.perf_counter() - start,
+            size_threshold=self.size_threshold,
+            radius_limit=self.radius_limit,
+            method="kdtree",
+        )
+        partitioning = Partitioning(table, group_ids, list(attributes), stats)
+        stats.max_radius = partitioning.max_radius()
+        return partitioning
+
+    def _is_acceptable(self, matrix: np.ndarray, rows: np.ndarray) -> bool:
+        if len(rows) > self.size_threshold:
+            return False
+        if self.radius_limit is None:
+            return True
+        chunk = matrix[rows]
+        centroid = chunk.mean(axis=0)
+        return float(np.abs(chunk - centroid).max()) <= self.radius_limit + 1e-12
+
+    def _median_split(
+        self, matrix: np.ndarray, rows: np.ndarray, preferred_axis: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        chunk = matrix[rows]
+        spreads = chunk.max(axis=0) - chunk.min(axis=0)
+        axis = preferred_axis if spreads[preferred_axis] > 0 else int(np.argmax(spreads))
+        if spreads[axis] == 0:
+            return rows, np.empty(0, dtype=np.int64)
+        values = chunk[:, axis]
+        median = np.median(values)
+        left_mask = values < median
+        if not left_mask.any() or left_mask.all():
+            # Degenerate median (many ties): split by <= instead.
+            left_mask = values <= median
+            if left_mask.all():
+                order = np.argsort(values, kind="stable")
+                half = len(order) // 2
+                left_mask = np.zeros(len(values), dtype=bool)
+                left_mask[order[:half]] = True
+        return rows[left_mask], rows[~left_mask]

@@ -1,0 +1,92 @@
+"""Radius limits for approximation guarantees (Theorem 3 / Equation 1).
+
+For a desired approximation parameter ε, the paper derives the radius limit ω
+the offline partitioning must satisfy so that SKETCHREFINE's answer is within
+a ``(1 ± ε)^6`` factor of DIRECT's:
+
+.. math::
+
+    ω = \\min_{1 ≤ j ≤ m,\\; attr ∈ A} γ · |t̃_j.attr|,\\qquad
+    γ = ε \\text{ (maximisation)},\\quad γ = \\frac{ε}{1+ε} \\text{ (minimisation)}
+
+Because ω depends on the representatives, which in turn depend on the
+partitioning, the practical recipe (used by the radius-ablation benchmark) is
+iterative: partition, compute ω from the resulting centroids, and re-partition
+with that radius limit until it is satisfied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.errors import PartitioningError
+from repro.paql.ast import ObjectiveDirection
+
+
+def gamma_for_epsilon(epsilon: float, direction: ObjectiveDirection) -> float:
+    """The γ factor of Equation (1) for the given objective direction."""
+    if direction is ObjectiveDirection.MAXIMIZE:
+        if not 0 <= epsilon < 1:
+            raise PartitioningError("maximisation queries require 0 <= epsilon < 1")
+        return epsilon
+    if epsilon < 0:
+        raise PartitioningError("minimisation queries require epsilon >= 0")
+    return epsilon / (1.0 + epsilon)
+
+
+def omega_for_epsilon(
+    representatives: Table,
+    attributes: list[str],
+    epsilon: float,
+    direction: ObjectiveDirection,
+) -> float:
+    """Equation (1): the radius limit ω guaranteeing a (1±ε)^6 approximation.
+
+    Args:
+        representatives: The representative relation R̃ (one row per group).
+        attributes: The partitioning attributes A.
+        epsilon: Desired approximation parameter.
+        direction: MAXIMIZE or MINIMIZE (decides γ).
+    """
+    gamma = gamma_for_epsilon(epsilon, direction)
+    magnitudes = np.abs(representatives.numeric_matrix(attributes))
+    if magnitudes.size == 0:
+        return 0.0
+    return float(gamma * magnitudes.min())
+
+
+def epsilon_for_omega(
+    representatives: Table,
+    attributes: list[str],
+    omega: float,
+    direction: ObjectiveDirection,
+) -> float:
+    """Invert Equation (1): the ε actually guaranteed by a given radius limit ω.
+
+    Useful for reporting the effective guarantee of a partitioning that was
+    built with a size threshold only.
+    """
+    magnitudes = np.abs(representatives.numeric_matrix(attributes))
+    if magnitudes.size == 0 or omega <= 0:
+        return 0.0
+    smallest = float(magnitudes.min())
+    if smallest == 0:
+        return float("inf")
+    gamma = omega / smallest
+    if direction is ObjectiveDirection.MAXIMIZE:
+        return gamma
+    if gamma >= 1:
+        return float("inf")
+    return gamma / (1.0 - gamma)
+
+
+def approximation_factor(epsilon: float, direction: ObjectiveDirection) -> float:
+    """The end-to-end multiplicative bound of Theorem 3: ``(1 ± ε)^6``.
+
+    For maximisation the answer is guaranteed to be at least
+    ``(1 − ε)^6 · OPT``; for minimisation at most ``(1 + ε)^6 · OPT``.
+    """
+    if direction is ObjectiveDirection.MAXIMIZE:
+        return (1.0 - epsilon) ** 6
+    return (1.0 + epsilon) ** 6

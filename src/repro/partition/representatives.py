@@ -1,0 +1,65 @@
+"""Representative (centroid) computation for partition groups.
+
+Each group's representative tuple is the centroid of its members over the
+partitioning attributes (Section 4.1).  The representative relation
+``R̃(gid, attr₁, …, attr_k)`` produced here is exactly what the SKETCH phase
+queries instead of the full input relation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.schema import Column, DataType, Schema
+from repro.dataset.table import Table
+from repro.errors import PartitioningError
+
+
+def compute_centroids(table: Table, group_ids: np.ndarray, attributes: list[str]) -> np.ndarray:
+    """Return an ``(num_groups, len(attributes))`` matrix of group centroids.
+
+    NaN attribute values are ignored per group (they correspond to NULLs in
+    the pre-joined benchmark tables); a group whose members are all NULL on an
+    attribute gets centroid value 0 for that attribute.
+    """
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    if group_ids.shape != (table.num_rows,):
+        raise PartitioningError("group_ids length must match the table")
+    num_groups = int(group_ids.max()) + 1 if len(group_ids) else 0
+    matrix = table.numeric_matrix(attributes)
+    centroids = np.zeros((num_groups, len(attributes)), dtype=np.float64)
+    for j in range(len(attributes)):
+        values = matrix[:, j]
+        valid = ~np.isnan(values)
+        sums = np.bincount(group_ids[valid], weights=values[valid], minlength=num_groups)
+        counts = np.bincount(group_ids[valid], minlength=num_groups).astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            centroids[:, j] = np.where(counts > 0, sums / counts, 0.0)
+    return centroids
+
+
+def build_representative_table(
+    table: Table, group_ids: np.ndarray, attributes: list[str]
+) -> Table:
+    """Build the representative relation ``R̃(gid, attr₁, …, attr_k)``."""
+    centroids = compute_centroids(table, group_ids, attributes)
+    num_groups = centroids.shape[0]
+    columns: dict[str, np.ndarray] = {"gid": np.arange(num_groups, dtype=np.int64)}
+    schema_columns = [Column("gid", DataType.INT)]
+    for j, attribute in enumerate(attributes):
+        columns[attribute] = centroids[:, j]
+        schema_columns.append(Column(attribute, DataType.FLOAT, nullable=True))
+    return Table(Schema(schema_columns), columns, name=f"{table.name}_representatives")
+
+
+def group_radii(table: Table, group_ids: np.ndarray, attributes: list[str]) -> np.ndarray:
+    """Return each group's radius: max |centroid.attr − member.attr| over attributes."""
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    num_groups = int(group_ids.max()) + 1 if len(group_ids) else 0
+    centroids = compute_centroids(table, group_ids, attributes)
+    matrix = table.numeric_matrix(attributes)
+    deviations = np.abs(np.nan_to_num(matrix) - centroids[group_ids])
+    radii = np.zeros(num_groups)
+    per_row = deviations.max(axis=1) if matrix.shape[1] else np.zeros(len(group_ids))
+    np.maximum.at(radii, group_ids, per_row)
+    return radii

@@ -1,0 +1,27 @@
+"""Workload generators and benchmark query suites.
+
+The paper evaluates on the SDSS Galaxy view and on a pre-joined TPC-H table,
+with seven package queries per dataset.  Neither dataset can be shipped here,
+so this subpackage generates seeded synthetic stand-ins with the same numeric
+structure (column counts, value ranges, skew, NULL patterns) and builds the
+corresponding query workloads with bounds derived from the data statistics —
+the same procedure the paper used to adapt its SQL queries into package
+queries (Section 5.1).
+"""
+
+from repro.workloads.specs import Workload, WorkloadQuery
+from repro.workloads.recipes import recipes_table, meal_planner_query, MEAL_PLANNER_PAQL
+from repro.workloads.galaxy import galaxy_table, galaxy_workload
+from repro.workloads.tpch import tpch_table, tpch_workload
+
+__all__ = [
+    "Workload",
+    "WorkloadQuery",
+    "recipes_table",
+    "meal_planner_query",
+    "MEAL_PLANNER_PAQL",
+    "galaxy_table",
+    "galaxy_workload",
+    "tpch_table",
+    "tpch_workload",
+]

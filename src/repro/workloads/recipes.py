@@ -1,0 +1,106 @@
+"""The meal-planner example dataset (Example 1 of the paper).
+
+A small synthetic table of recipes with gluten labels, calories and saturated
+fat, plus the running-example query Q of Section 2.1: three gluten-free meals
+totalling between 2.0 and 2.5 kcal (thousands of calories) while minimising
+saturated fat.  Used by the quickstart example and throughout the tests as a
+human-readable fixture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.schema import Column, DataType, Schema
+from repro.dataset.table import Table
+from repro.db.expressions import col
+from repro.paql.ast import PackageQuery
+from repro.paql.builder import query_over
+
+MEAL_PLANNER_PAQL = """
+SELECT PACKAGE(R) AS P
+FROM recipes R REPEAT 0
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(P.*) = 3 AND
+          SUM(P.kcal) BETWEEN 2.0 AND 2.5
+MINIMIZE SUM(P.saturated_fat)
+"""
+
+_DISH_STEMS = (
+    "lentil stew", "quinoa bowl", "grilled salmon", "rice pilaf", "tofu curry",
+    "roast chicken", "bean chili", "veggie omelette", "buckwheat salad", "baked cod",
+    "polenta bake", "stuffed peppers", "pumpkin soup", "millet porridge", "shrimp stir fry",
+)
+
+
+def recipes_table(num_rows: int = 120, seed: int = 7) -> Table:
+    """Generate a seeded synthetic recipes table.
+
+    Columns: ``name`` (string), ``gluten`` ('free' or 'contains'), ``kcal``
+    (in thousands of calories, 0.3–1.4), ``saturated_fat`` (grams),
+    ``protein`` (grams) and ``carbs`` (grams).
+    """
+    rng = np.random.default_rng(seed)
+    names = [
+        f"{_DISH_STEMS[i % len(_DISH_STEMS)]} #{i // len(_DISH_STEMS) + 1}"
+        for i in range(num_rows)
+    ]
+    gluten = rng.choice(["free", "contains"], size=num_rows, p=[0.6, 0.4])
+    kcal = np.round(rng.uniform(0.3, 1.4, size=num_rows), 3)
+    saturated_fat = np.round(rng.gamma(shape=2.0, scale=2.5, size=num_rows), 2)
+    protein = np.round(rng.uniform(5.0, 45.0, size=num_rows), 1)
+    carbs = np.round(rng.uniform(0.0, 90.0, size=num_rows), 1)
+
+    schema = Schema(
+        [
+            Column("name", DataType.STRING),
+            Column("gluten", DataType.STRING),
+            Column("kcal", DataType.FLOAT),
+            Column("saturated_fat", DataType.FLOAT),
+            Column("protein", DataType.FLOAT),
+            Column("carbs", DataType.FLOAT),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "name": list(names),
+            "gluten": list(gluten),
+            "kcal": kcal,
+            "saturated_fat": saturated_fat,
+            "protein": protein,
+            "carbs": carbs,
+        },
+        name="recipes",
+    )
+
+
+def meal_planner_query() -> PackageQuery:
+    """The running-example query built programmatically (equivalent to the PaQL text)."""
+    return (
+        query_over("recipes", name="meal_planner")
+        .no_repetition()
+        .where(col("gluten") == "free")
+        .count_equals(3)
+        .sum_between("kcal", 2.0, 2.5)
+        .minimize_sum("saturated_fat")
+        .build()
+    )
+
+
+def balanced_meal_query() -> PackageQuery:
+    """A richer example: the paper's filtered-count comparison constraint.
+
+    Requires at least as many carb-providing meals as low-protein meals, on
+    top of the base meal-planner constraints.
+    """
+    return (
+        query_over("recipes", name="balanced_meal")
+        .no_repetition()
+        .where(col("gluten") == "free")
+        .count_equals(3)
+        .sum_between("kcal", 2.0, 2.5)
+        .compare_counts(col("carbs") > 0, col("protein") <= 5)
+        .minimize_sum("saturated_fat")
+        .build()
+    )

@@ -1,0 +1,59 @@
+"""Shared workload data structures.
+
+A :class:`Workload` bundles a generated table with its suite of package
+queries and the union of their query attributes (the paper's "workload
+attributes", used as the default offline-partitioning attributes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataset.table import Table
+from repro.paql.ast import PackageQuery
+
+
+@dataclass
+class WorkloadQuery:
+    """One benchmark query: its identifier plus the built query object."""
+
+    name: str
+    query: PackageQuery
+    description: str = ""
+
+    @property
+    def attributes(self) -> set[str]:
+        """Numeric attributes referenced in global constraints and the objective."""
+        return self.query.numeric_query_columns
+
+
+@dataclass
+class Workload:
+    """A dataset together with its package-query benchmark suite."""
+
+    name: str
+    table: Table
+    queries: list[WorkloadQuery] = field(default_factory=list)
+
+    @property
+    def workload_attributes(self) -> list[str]:
+        """Union of all query attributes, in deterministic order.
+
+        The paper partitions each dataset on exactly this attribute set for
+        the scalability experiments (Section 5.2.1).
+        """
+        attributes: set[str] = set()
+        for workload_query in self.queries:
+            attributes |= workload_query.attributes
+        return sorted(attributes)
+
+    def query(self, name: str) -> WorkloadQuery:
+        """Look up a query by name (e.g. ``"Q3"``)."""
+        for workload_query in self.queries:
+            if workload_query.name == name:
+                return workload_query
+        raise KeyError(f"workload {self.name!r} has no query named {name!r}")
+
+    @property
+    def query_names(self) -> list[str]:
+        return [q.name for q in self.queries]

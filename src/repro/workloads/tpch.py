@@ -1,0 +1,223 @@
+"""Synthetic stand-in for the paper's pre-joined TPC-H table and workload.
+
+The paper builds a single ~17.5M-tuple table by full-outer-joining the TPC-H
+relations on the attributes its seven package queries need; each query then
+keeps only the tuples with non-NULL values on its own attributes (Figure 3
+reports the resulting per-query table sizes).  :func:`tpch_table` reproduces
+that structure: a wide numeric table mixing lineitem-, order-, part- and
+supplier-style columns, where each "source relation" contributes NULLs to the
+rows that did not originate from it — so the per-query NULL projection yields
+tables of different sizes, exactly as in Figure 3.
+
+:func:`tpch_workload` builds the seven package queries following the paper's
+adaptation rules: group-by aggregates of the original TPC-H query templates
+become global constraints with bounds drawn uniformly at random from the
+attribute's value range scaled by the expected package size, plus a
+cardinality bound and an objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.schema import Column, DataType, Schema
+from repro.dataset.table import Table
+from repro.paql.ast import PackageQuery
+from repro.paql.builder import query_over
+from repro.workloads.specs import Workload, WorkloadQuery
+
+#: All numeric attributes of the pre-joined table.
+TPCH_ATTRIBUTES = (
+    "quantity", "extendedprice", "discount", "tax", "shipdelay",
+    "ordertotal", "orderpriority_score", "retailprice", "partsize",
+    "supplycost", "availqty", "acctbal",
+)
+
+#: Which attributes each simulated source relation contributes.  Rows not
+#: drawn from a relation have NULLs on its attributes (full-outer-join effect).
+_RELATION_ATTRIBUTES = {
+    "lineitem": ("quantity", "extendedprice", "discount", "tax", "shipdelay"),
+    "orders": ("ordertotal", "orderpriority_score"),
+    "part": ("retailprice", "partsize"),
+    "partsupp": ("supplycost", "availqty"),
+    "supplier": ("acctbal",),
+}
+
+#: Fraction of rows carrying non-NULL values for each source relation.  The
+#: lineitem block is the largest, mirroring Figure 3 where five of the seven
+#: queries see the full 6M-row projection, one sees a much smaller one and one
+#: a larger one.
+_RELATION_COVERAGE = {
+    "lineitem": 0.70,
+    "orders": 0.85,
+    "part": 0.60,
+    "partsupp": 0.55,
+    "supplier": 0.90,
+}
+
+_DEFAULT_ROWS = 8_000
+
+
+def tpch_table(num_rows: int = _DEFAULT_ROWS, seed: int = 1) -> Table:
+    """Generate the synthetic pre-joined TPC-H table (with NULL blocks)."""
+    rng = np.random.default_rng(seed)
+    n = num_rows
+
+    values: dict[str, np.ndarray] = {
+        "quantity": rng.integers(1, 51, n).astype(np.float64),
+        "extendedprice": np.round(rng.uniform(900.0, 105_000.0, n), 2),
+        "discount": np.round(rng.uniform(0.0, 0.10, n), 2),
+        "tax": np.round(rng.uniform(0.0, 0.08, n), 2),
+        "shipdelay": rng.integers(1, 122, n).astype(np.float64),
+        "ordertotal": np.round(rng.uniform(850.0, 560_000.0, n), 2),
+        "orderpriority_score": rng.integers(1, 6, n).astype(np.float64),
+        "retailprice": np.round(900.0 + rng.uniform(0.0, 1_200.0, n), 2),
+        "partsize": rng.integers(1, 51, n).astype(np.float64),
+        "supplycost": np.round(rng.uniform(1.0, 1_000.0, n), 2),
+        "availqty": rng.integers(1, 10_000, n).astype(np.float64),
+        "acctbal": np.round(rng.uniform(-999.0, 9_999.0, n), 2),
+    }
+
+    # Inject the full-outer-join NULL pattern per source relation.
+    for relation, attributes in _RELATION_ATTRIBUTES.items():
+        coverage = _RELATION_COVERAGE[relation]
+        missing = rng.random(n) >= coverage
+        for attribute in attributes:
+            column = values[attribute].astype(np.float64).copy()
+            column[missing] = np.nan
+            values[attribute] = column
+
+    schema = Schema([Column(name, DataType.FLOAT, nullable=True) for name in TPCH_ATTRIBUTES])
+    return Table(schema, values, name="tpch")
+
+
+def query_projection(table: Table, query: PackageQuery) -> Table:
+    """The per-query projection: rows with non-NULL values on all query attributes.
+
+    This is the table whose size Figure 3 reports per query, and the relation
+    each query is actually evaluated on.
+    """
+    attributes = sorted(query.numeric_query_columns)
+    return table.drop_nulls(attributes)
+
+
+def tpch_workload(table: Table | None = None, seed: int = 1) -> Workload:
+    """Build the TPC-H benchmark workload (7 package queries).
+
+    Bounds follow the paper's rule for TPC-H: uniform random values from the
+    attribute's value range multiplied by the expected package size (the seed
+    makes them deterministic).
+    """
+    if table is None:
+        table = tpch_table(seed=seed)
+    rng = np.random.default_rng(seed + 1000)
+
+    def stats(attribute: str) -> tuple[float, float, float]:
+        column = table.numeric_column(attribute)
+        valid = column[~np.isnan(column)]
+        return float(valid.mean()), float(valid.min()), float(valid.max())
+
+    def random_window(attribute: str, cardinality: float, spread: float = 0.4) -> tuple[float, float]:
+        mean, _, _ = stats(attribute)
+        centre = mean * cardinality * rng.uniform(0.9, 1.1)
+        return (1.0 - spread) * centre, (1.0 + spread) * centre
+
+    queries: list[WorkloadQuery] = []
+
+    # Q1 — pricing-summary style (TPC-H Q1): bounded total quantity and price,
+    # minimise total discount "given away".
+    low_q, high_q = random_window("quantity", 12)
+    queries.append(WorkloadQuery(
+        "Q1",
+        query_over("tpch", name="tpch_q1")
+        .no_repetition()
+        .count_equals(12)
+        .sum_between("quantity", low_q, high_q)
+        .sum_at_most("extendedprice", stats("extendedprice")[0] * 12 * 1.4)
+        .minimize_sum("discount")
+        .build(),
+        "12 line items with bounded quantity and price, minimise total discount",
+    ))
+
+    # Q2 — minimum-cost supplier style (TPC-H Q2): minimise supply cost subject
+    # to availability and size windows (the paper's problematic minimisation).
+    low_avail, high_avail = random_window("availqty", 10, spread=0.5)
+    queries.append(WorkloadQuery(
+        "Q2",
+        query_over("tpch", name="tpch_q2")
+        .no_repetition()
+        .count_equals(10)
+        .sum_between("availqty", low_avail, high_avail)
+        .sum_at_most("partsize", stats("partsize")[0] * 10 * 1.3)
+        .minimize_sum("supplycost")
+        .build(),
+        "10 part-supplier pairs with bounded availability, minimise supply cost",
+    ))
+
+    # Q3 — shipping-priority style (TPC-H Q3): maximise revenue under delay budget.
+    queries.append(WorkloadQuery(
+        "Q3",
+        query_over("tpch", name="tpch_q3")
+        .no_repetition()
+        .count_between(5, 15)
+        .sum_at_most("shipdelay", stats("shipdelay")[0] * 15)
+        .sum_at_least("quantity", stats("quantity")[0] * 5)
+        .maximize_sum("extendedprice")
+        .build(),
+        "5–15 line items under a total-delay budget, maximise revenue",
+    ))
+
+    # Q4 — order-priority style (TPC-H Q4): bounded priority score, maximise order value.
+    low_p, high_p = random_window("orderpriority_score", 8, spread=0.3)
+    queries.append(WorkloadQuery(
+        "Q4",
+        query_over("tpch", name="tpch_q4")
+        .no_repetition()
+        .count_equals(8)
+        .sum_between("orderpriority_score", low_p, high_p)
+        .maximize_sum("ordertotal")
+        .build(),
+        "8 orders with a bounded total priority score, maximise total value",
+    ))
+
+    # Q5 — local-supplier-volume style (TPC-H Q5): small package over supplier data.
+    queries.append(WorkloadQuery(
+        "Q5",
+        query_over("tpch", name="tpch_q5")
+        .no_repetition()
+        .count_equals(4)
+        .sum_at_least("acctbal", stats("acctbal")[0] * 4 * 0.5)
+        .maximize_sum("acctbal")
+        .build(),
+        "4 suppliers with healthy total balance, maximise total balance",
+    ))
+
+    # Q6 — forecasting-revenue style (TPC-H Q6): discount/quantity windows with repeats.
+    low_d, high_d = random_window("discount", 14, spread=0.5)
+    queries.append(WorkloadQuery(
+        "Q6",
+        query_over("tpch", name="tpch_q6")
+        .repeat(1)
+        .count_equals(14)
+        .sum_between("discount", low_d, high_d)
+        .sum_at_most("quantity", stats("quantity")[0] * 14 * 1.2)
+        .maximize_sum("extendedprice")
+        .build(),
+        "14 line items (repeats allowed) in a discount window, maximise revenue",
+    ))
+
+    # Q7 — volume-shipping style (TPC-H Q7): tax and retail-price windows, minimise cost.
+    low_t, high_t = random_window("tax", 10, spread=0.5)
+    queries.append(WorkloadQuery(
+        "Q7",
+        query_over("tpch", name="tpch_q7")
+        .no_repetition()
+        .count_between(6, 10)
+        .sum_between("tax", low_t, high_t)
+        .sum_at_most("retailprice", stats("retailprice")[0] * 10 * 1.2)
+        .minimize_sum("supplycost")
+        .build(),
+        "6–10 items in a tax window under a retail-price cap, minimise supply cost",
+    ))
+
+    return Workload("tpch", table, queries)

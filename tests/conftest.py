@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Column, DataType, Schema
+from repro.dataset.table import Table
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
+from repro.workloads.recipes import recipes_table
+
+
+@pytest.fixture
+def small_numeric_table() -> Table:
+    """A tiny all-numeric table with known values, used across many tests."""
+    schema = Schema(
+        [
+            Column("a", DataType.FLOAT),
+            Column("b", DataType.FLOAT),
+            Column("c", DataType.INT),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "a": [1.0, 2.0, 3.0, 4.0, 5.0],
+            "b": [10.0, 20.0, 30.0, 40.0, 50.0],
+            "c": [1, 0, 1, 0, 1],
+        },
+        name="numbers",
+    )
+
+
+@pytest.fixture
+def mixed_table() -> Table:
+    """A table mixing numeric, string and nullable columns."""
+    schema = Schema(
+        [
+            Column("name", DataType.STRING),
+            Column("category", DataType.STRING, nullable=True),
+            Column("value", DataType.FLOAT, nullable=True),
+            Column("weight", DataType.FLOAT),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "name": ["alpha", "beta", "gamma", "delta"],
+            "category": ["x", None, "y", "x"],
+            "value": [1.5, 2.5, None, 4.0],
+            "weight": [1.0, 2.0, 3.0, 4.0],
+        },
+        name="mixed",
+    )
+
+
+@pytest.fixture
+def recipes() -> Table:
+    """A deterministic recipes table (the paper's running example data)."""
+    return recipes_table(num_rows=80, seed=7)
+
+
+@pytest.fixture
+def fast_solver() -> BranchAndBoundSolver:
+    """A branch-and-bound solver with small limits, for unit tests."""
+    return BranchAndBoundSolver(
+        limits=SolverLimits(time_limit_seconds=20.0, node_limit=5_000, relative_gap=1e-6)
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,111 @@
+"""Tests for the PackageQueryEngine facade."""
+
+import pytest
+
+from repro import PackageQueryEngine
+from repro.core.engine import EvaluationMethod
+from repro.errors import CatalogError, EvaluationError, PaQLValidationError
+from repro.paql.builder import query_over
+from repro.workloads.recipes import MEAL_PLANNER_PAQL, meal_planner_query, recipes_table
+
+
+@pytest.fixture
+def engine():
+    engine = PackageQueryEngine()
+    engine.register_table(recipes_table(num_rows=120, seed=7))
+    return engine
+
+
+class TestCatalogManagement:
+    def test_register_and_fetch(self, engine):
+        assert engine.table("recipes").num_rows == 120
+
+    def test_missing_table(self, engine):
+        with pytest.raises(CatalogError):
+            engine.table("nope")
+
+    def test_build_partitioning_methods(self, engine):
+        for method in ("quadtree", "kdtree", "kmeans"):
+            partitioning = engine.build_partitioning(
+                "recipes", ["kcal", "saturated_fat"], size_threshold=30,
+                method=method, label=method,
+            )
+            assert partitioning.num_groups >= 1
+            assert engine.database.has_partitioning("recipes", method)
+
+    def test_unknown_partitioning_method(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.build_partitioning("recipes", ["kcal"], 10, method="voronoi")
+
+
+class TestExecution:
+    def test_paql_text_direct(self, engine):
+        result = engine.execute(MEAL_PLANNER_PAQL, method="direct")
+        assert result.method is EvaluationMethod.DIRECT
+        assert result.feasible
+        assert result.package.cardinality == 3
+        assert result.wall_seconds > 0
+        assert "direct_stats" in result.details
+
+    def test_builder_query(self, engine):
+        result = engine.execute(meal_planner_query(), method="direct")
+        assert result.feasible
+
+    def test_sketchrefine_requires_partitioning(self, engine):
+        with pytest.raises(EvaluationError, match="partitioning"):
+            engine.execute(MEAL_PLANNER_PAQL, method="sketchrefine")
+
+    def test_sketchrefine_with_partitioning(self, engine):
+        engine.build_partitioning("recipes", ["kcal", "saturated_fat"], size_threshold=30)
+        result = engine.execute(MEAL_PLANNER_PAQL, method="sketchrefine")
+        assert result.method is EvaluationMethod.SKETCH_REFINE
+        assert result.feasible
+        assert "sketchrefine_stats" in result.details
+
+    def test_naive_method(self, engine):
+        result = engine.execute(MEAL_PLANNER_PAQL, method="naive")
+        assert result.method is EvaluationMethod.NAIVE
+        assert result.feasible
+
+    def test_all_methods_agree_on_objective(self, engine):
+        engine.build_partitioning("recipes", ["kcal", "saturated_fat"], size_threshold=20)
+        direct = engine.execute(MEAL_PLANNER_PAQL, method="direct")
+        naive = engine.execute(MEAL_PLANNER_PAQL, method="naive")
+        assert direct.objective == pytest.approx(naive.objective, rel=1e-6)
+
+    def test_validation_error_for_bad_column(self, engine):
+        query = query_over("recipes").sum_at_most("no_such_column", 1).build()
+        with pytest.raises(PaQLValidationError):
+            engine.execute(query, method="direct")
+
+    def test_materialize_result(self, engine):
+        result = engine.execute(MEAL_PLANNER_PAQL, method="direct")
+        table = result.materialize("meal_plan")
+        assert table.num_rows == 3
+        assert table.name == "meal_plan"
+        assert set(table.schema.names) == set(engine.table("recipes").schema.names)
+
+
+class TestAutoMethod:
+    def test_auto_uses_direct_for_small_tables(self, engine):
+        result = engine.execute(MEAL_PLANNER_PAQL)  # default AUTO
+        assert result.method is EvaluationMethod.DIRECT
+
+    def test_auto_uses_sketchrefine_for_large_partitioned_tables(self):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes_table(num_rows=2_500, seed=7))
+        engine.build_partitioning("recipes", ["kcal", "saturated_fat"], size_threshold=250)
+        result = engine.execute(MEAL_PLANNER_PAQL, method=EvaluationMethod.AUTO)
+        assert result.method is EvaluationMethod.SKETCH_REFINE
+        assert result.feasible
+
+    def test_auto_without_partitioning_stays_direct(self):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes_table(num_rows=2_500, seed=7))
+        result = engine.execute(MEAL_PLANNER_PAQL)
+        assert result.method is EvaluationMethod.DIRECT
+
+    def test_method_accepts_string_or_enum(self, engine):
+        as_string = engine.execute(MEAL_PLANNER_PAQL, method="direct")
+        as_enum = engine.execute(MEAL_PLANNER_PAQL, method=EvaluationMethod.DIRECT)
+        assert as_string.objective == pytest.approx(as_enum.objective)

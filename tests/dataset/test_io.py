@@ -1,0 +1,99 @@
+"""Tests for repro.dataset.io (CSV and NPZ persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.io import load_table, read_csv, save_table, write_csv
+from repro.dataset.schema import Column, DataType, Schema
+from repro.dataset.table import Table
+from repro.errors import TableError
+
+
+@pytest.fixture
+def sample_table() -> Table:
+    schema = Schema(
+        [
+            Column("id", DataType.INT),
+            Column("score", DataType.FLOAT, nullable=True),
+            Column("label", DataType.STRING, nullable=True),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "id": [1, 2, 3],
+            "score": [1.5, None, 3.25],
+            "label": ["alpha", None, "gamma"],
+        },
+        name="sample",
+    )
+
+
+class TestCsv:
+    def test_round_trip_with_schema(self, sample_table, tmp_path):
+        path = tmp_path / "sample.csv"
+        write_csv(sample_table, path)
+        loaded = read_csv(path, schema=sample_table.schema)
+        assert loaded.equals(sample_table)
+
+    def test_round_trip_inferred_schema(self, sample_table, tmp_path):
+        path = tmp_path / "sample.csv"
+        write_csv(sample_table, path)
+        loaded = read_csv(path)
+        assert loaded.schema["id"].dtype is DataType.INT
+        assert loaded.schema["score"].dtype is DataType.FLOAT
+        assert loaded.schema["label"].dtype is DataType.STRING
+        assert loaded.num_rows == 3
+        assert np.isnan(loaded.column("score")[1])
+        assert loaded.column("label")[1] is None
+
+    def test_read_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TableError):
+            read_csv(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(TableError):
+            read_csv(path)
+
+    def test_name_defaults_to_stem(self, sample_table, tmp_path):
+        path = tmp_path / "galaxy_sample.csv"
+        write_csv(sample_table, path)
+        assert read_csv(path).name == "galaxy_sample"
+
+    def test_float_precision_preserved(self, tmp_path):
+        table = Table.from_dict({"x": [0.1, 1e-12, 123456.789]})
+        path = tmp_path / "precision.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert np.allclose(loaded.column("x"), table.column("x"))
+
+
+class TestNpz:
+    def test_round_trip(self, sample_table, tmp_path):
+        path = tmp_path / "sample.npz"
+        save_table(sample_table, path)
+        loaded = load_table(path)
+        assert loaded.name == "sample"
+        assert loaded.schema == sample_table.schema
+        assert loaded.equals(sample_table)
+
+    def test_round_trip_large_numeric(self, tmp_path, rng):
+        table = Table.from_dict({"x": rng.normal(size=1000), "y": rng.integers(0, 10, 1000)})
+        path = tmp_path / "big.npz"
+        save_table(table, path)
+        assert load_table(path).equals(table)
+
+    def test_string_none_round_trip(self, tmp_path):
+        table = Table(
+            Schema([Column("s", DataType.STRING, nullable=True)]),
+            {"s": ["a", None, "c"]},
+        )
+        path = tmp_path / "strings.npz"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert loaded.column("s")[1] is None
+        assert loaded.column("s")[0] == "a"

@@ -1,0 +1,203 @@
+"""Tests for repro.dataset.table."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Column, DataType, Schema
+from repro.dataset.table import Table
+from repro.errors import ColumnNotFoundError, TableError
+
+
+class TestConstruction:
+    def test_basic(self, small_numeric_table):
+        assert small_numeric_table.num_rows == 5
+        assert small_numeric_table.num_columns == 3
+        assert len(small_numeric_table) == 5
+
+    def test_missing_column_data(self):
+        schema = Schema.numeric(["a", "b"])
+        with pytest.raises(TableError, match="missing data"):
+            Table(schema, {"a": [1.0]})
+
+    def test_extra_column_data(self):
+        schema = Schema.numeric(["a"])
+        with pytest.raises(TableError, match="unknown columns"):
+            Table(schema, {"a": [1.0], "b": [2.0]})
+
+    def test_length_mismatch(self):
+        schema = Schema.numeric(["a", "b"])
+        with pytest.raises(TableError, match="length"):
+            Table(schema, {"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_from_rows_tuples(self):
+        schema = Schema.numeric(["a", "b"])
+        table = Table.from_rows(schema, [(1, 2), (3, 4)])
+        assert table.row(1) == {"a": 3.0, "b": 4.0}
+
+    def test_from_rows_dicts(self):
+        schema = Schema.numeric(["a", "b"])
+        table = Table.from_rows(schema, [{"a": 1, "b": 2}, {"b": 4, "a": 3}])
+        assert table.row(1) == {"a": 3.0, "b": 4.0}
+
+    def test_from_rows_wrong_arity(self):
+        schema = Schema.numeric(["a", "b"])
+        with pytest.raises(TableError):
+            Table.from_rows(schema, [(1, 2, 3)])
+
+    def test_from_dict_infers_types(self):
+        table = Table.from_dict({"x": [1, 2, 3], "s": ["a", "b", None], "f": [1.0, None, 3.0]})
+        assert table.schema["x"].dtype is DataType.INT
+        assert table.schema["s"].dtype is DataType.STRING
+        assert table.schema["f"].dtype is DataType.FLOAT
+        assert table.schema["f"].nullable
+
+    def test_empty_table(self):
+        table = Table.empty(Schema.numeric(["a"]))
+        assert table.num_rows == 0
+        assert bool(table) is True
+
+    def test_int_coercion_failure(self):
+        schema = Schema([Column("a", DataType.INT)])
+        with pytest.raises(TableError):
+            Table(schema, {"a": ["not-an-int"]})
+
+    def test_string_column_preserves_none(self, mixed_table):
+        assert mixed_table.column("category")[1] is None
+
+
+class TestAccessors:
+    def test_column_returns_array(self, small_numeric_table):
+        column = small_numeric_table.column("a")
+        assert isinstance(column, np.ndarray)
+        assert column.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_unknown_column(self, small_numeric_table):
+        with pytest.raises(ColumnNotFoundError):
+            small_numeric_table.column("missing")
+
+    def test_numeric_column_on_int(self, small_numeric_table):
+        values = small_numeric_table.numeric_column("c")
+        assert values.dtype == np.float64
+
+    def test_numeric_matrix(self, small_numeric_table):
+        matrix = small_numeric_table.numeric_matrix(["a", "b"])
+        assert matrix.shape == (5, 2)
+        assert matrix[2].tolist() == [3.0, 30.0]
+
+    def test_numeric_matrix_empty_columns(self, small_numeric_table):
+        matrix = small_numeric_table.numeric_matrix([])
+        assert matrix.shape == (5, 0)
+
+    def test_row_out_of_range(self, small_numeric_table):
+        with pytest.raises(TableError):
+            small_numeric_table.row(99)
+
+    def test_rows_iteration(self, small_numeric_table):
+        rows = list(small_numeric_table.rows())
+        assert len(rows) == 5
+        assert rows[0] == {"a": 1.0, "b": 10.0, "c": 1}
+
+    def test_to_dict_native_types(self, small_numeric_table):
+        data = small_numeric_table.to_dict()
+        assert isinstance(data["c"][0], int)
+        assert isinstance(data["a"][0], float)
+
+
+class TestDerivation:
+    def test_take_with_repeats(self, small_numeric_table):
+        taken = small_numeric_table.take([0, 0, 4])
+        assert taken.num_rows == 3
+        assert taken.column("a").tolist() == [1.0, 1.0, 5.0]
+
+    def test_take_out_of_range(self, small_numeric_table):
+        with pytest.raises(TableError):
+            small_numeric_table.take([10])
+
+    def test_filter(self, small_numeric_table):
+        mask = small_numeric_table.column("a") > 2.5
+        filtered = small_numeric_table.filter(mask)
+        assert filtered.num_rows == 3
+
+    def test_filter_shape_mismatch(self, small_numeric_table):
+        with pytest.raises(TableError):
+            small_numeric_table.filter(np.array([True, False]))
+
+    def test_select_columns(self, small_numeric_table):
+        selected = small_numeric_table.select_columns(["b"])
+        assert selected.schema.names == ("b",)
+
+    def test_with_column(self, small_numeric_table):
+        extended = small_numeric_table.with_column(Column("d", DataType.FLOAT), [0.0] * 5)
+        assert "d" in extended.schema
+        assert "d" not in small_numeric_table.schema
+
+    def test_replace_column(self, small_numeric_table):
+        replaced = small_numeric_table.replace_column("a", [9.0] * 5)
+        assert replaced.column("a").tolist() == [9.0] * 5
+        assert small_numeric_table.column("a").tolist()[0] == 1.0
+
+    def test_rename(self, small_numeric_table):
+        renamed = small_numeric_table.rename({"a": "alpha"})
+        assert "alpha" in renamed.schema
+        assert "a" not in renamed.schema
+
+    def test_head(self, small_numeric_table):
+        assert small_numeric_table.head(2).num_rows == 2
+        assert small_numeric_table.head(100).num_rows == 5
+
+    def test_sample_without_replacement(self, small_numeric_table):
+        sample = small_numeric_table.sample(3, seed=1)
+        assert sample.num_rows == 3
+        with pytest.raises(TableError):
+            small_numeric_table.sample(10)
+
+    def test_sample_with_replacement(self, small_numeric_table):
+        sample = small_numeric_table.sample(10, seed=1, replace=True)
+        assert sample.num_rows == 10
+
+    def test_concat(self, small_numeric_table):
+        combined = small_numeric_table.concat(small_numeric_table)
+        assert combined.num_rows == 10
+
+    def test_concat_schema_mismatch(self, small_numeric_table, mixed_table):
+        with pytest.raises(TableError):
+            small_numeric_table.concat(mixed_table)
+
+
+class TestNullHandling:
+    def test_null_mask_float(self, mixed_table):
+        mask = mixed_table.null_mask("value")
+        assert mask.tolist() == [False, False, True, False]
+
+    def test_null_mask_string(self, mixed_table):
+        mask = mixed_table.null_mask("category")
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_null_mask_non_nullable(self, small_numeric_table):
+        assert not small_numeric_table.null_mask("c").any()
+
+    def test_drop_nulls_all_columns(self, mixed_table):
+        clean = mixed_table.drop_nulls()
+        assert clean.num_rows == 2
+
+    def test_drop_nulls_subset(self, mixed_table):
+        clean = mixed_table.drop_nulls(["value"])
+        assert clean.num_rows == 3
+
+
+class TestEquality:
+    def test_equals_same_content(self, small_numeric_table):
+        copy = small_numeric_table.take(np.arange(5))
+        assert small_numeric_table.equals(copy)
+
+    def test_equals_detects_difference(self, small_numeric_table):
+        other = small_numeric_table.replace_column("a", [0.0] * 5)
+        assert not small_numeric_table.equals(other)
+
+    def test_equals_nan_aware(self):
+        table_one = Table.from_dict({"x": [1.0, None]})
+        table_two = Table.from_dict({"x": [1.0, None]})
+        assert table_one.equals(table_two)
+
+    def test_repr_mentions_name(self, small_numeric_table):
+        assert "numbers" in repr(small_numeric_table)

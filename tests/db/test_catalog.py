@@ -1,0 +1,91 @@
+"""Tests for the database catalog."""
+
+import pytest
+
+from repro.dataset.table import Table
+from repro.db.catalog import Database
+from repro.errors import CatalogError
+from repro.partition.quadtree import QuadTreePartitioner
+
+
+@pytest.fixture
+def database(small_numeric_table) -> Database:
+    db = Database("testdb")
+    db.create_table(small_numeric_table, name="numbers")
+    return db
+
+
+class TestTables:
+    def test_create_and_fetch(self, database, small_numeric_table):
+        fetched = database.table("numbers")
+        assert fetched.num_rows == small_numeric_table.num_rows
+
+    def test_duplicate_rejected(self, database, small_numeric_table):
+        with pytest.raises(CatalogError):
+            database.create_table(small_numeric_table, name="numbers")
+
+    def test_replace_allowed(self, database, small_numeric_table):
+        database.create_table(small_numeric_table.head(2), name="numbers", replace=True)
+        assert database.table("numbers").num_rows == 2
+
+    def test_missing_table(self, database):
+        with pytest.raises(CatalogError, match="not found"):
+            database.table("nope")
+
+    def test_drop(self, database):
+        database.drop_table("numbers")
+        assert "numbers" not in database
+        with pytest.raises(CatalogError):
+            database.drop_table("numbers")
+
+    def test_rename_on_register(self, database, mixed_table):
+        registered = database.create_table(mixed_table, name="other")
+        assert registered.name == "other"
+        assert database.table("other").name == "other"
+
+    def test_iteration_and_len(self, database, mixed_table):
+        database.create_table(mixed_table)
+        assert len(database) == 2
+        assert sorted(t.name for t in database) == ["mixed", "numbers"]
+        assert database.table_names() == ["mixed", "numbers"]
+
+
+class TestPartitionings:
+    def test_register_and_fetch(self, database, small_numeric_table):
+        partitioning = QuadTreePartitioner(size_threshold=2).partition(
+            small_numeric_table, ["a", "b"]
+        )
+        database.register_partitioning("numbers", partitioning)
+        assert database.has_partitioning("numbers")
+        assert database.partitioning("numbers").num_groups == partitioning.num_groups
+
+    def test_labels(self, database, small_numeric_table):
+        partitioning = QuadTreePartitioner(size_threshold=2).partition(small_numeric_table, ["a"])
+        database.register_partitioning("numbers", partitioning, label="coarse")
+        assert database.partitioning_labels("numbers") == ["coarse"]
+        with pytest.raises(CatalogError):
+            database.partitioning("numbers", "missing")
+
+    def test_register_for_missing_table(self, database, small_numeric_table):
+        partitioning = QuadTreePartitioner(size_threshold=2).partition(small_numeric_table, ["a"])
+        with pytest.raises(CatalogError):
+            database.register_partitioning("ghost", partitioning)
+
+    def test_drop_table_drops_partitionings(self, database, small_numeric_table):
+        partitioning = QuadTreePartitioner(size_threshold=2).partition(small_numeric_table, ["a"])
+        database.register_partitioning("numbers", partitioning)
+        database.drop_table("numbers")
+        assert not database.has_partitioning("numbers")
+
+
+class TestPersistence:
+    def test_save_and_load(self, database, mixed_table, tmp_path):
+        database.create_table(mixed_table)
+        database.save(tmp_path / "db")
+        loaded = Database.load(tmp_path / "db", name="loaded")
+        assert sorted(loaded.table_names()) == ["mixed", "numbers"]
+        assert loaded.table("mixed").num_rows == mixed_table.num_rows
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(CatalogError):
+            Database.load(tmp_path / "does-not-exist")

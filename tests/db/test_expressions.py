@@ -1,0 +1,140 @@
+"""Tests for the vectorised expression language."""
+
+import numpy as np
+import pytest
+
+from repro.db.expressions import (
+    ArithmeticOperator,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOperator,
+    InList,
+    Literal,
+    LogicalOp,
+    LogicalOperator,
+    Not,
+    col,
+    lit,
+)
+from repro.errors import ExpressionError
+
+
+class TestColumnRefAndLiteral:
+    def test_column_ref_evaluate(self, small_numeric_table):
+        values = col("a").evaluate(small_numeric_table)
+        assert values.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_literal_broadcast(self, small_numeric_table):
+        values = lit(7.0).evaluate(small_numeric_table)
+        assert values.tolist() == [7.0] * 5
+
+    def test_string_literal_broadcast(self, small_numeric_table):
+        values = lit("x").evaluate(small_numeric_table)
+        assert list(values) == ["x"] * 5
+
+    def test_literal_cannot_wrap_expression(self):
+        with pytest.raises(ExpressionError):
+            Literal(col("a"))
+
+    def test_referenced_columns(self):
+        assert col("a").referenced_columns() == {"a"}
+        assert lit(1).referenced_columns() == set()
+
+
+class TestArithmetic:
+    def test_addition(self, small_numeric_table):
+        values = (col("a") + col("b")).evaluate(small_numeric_table)
+        assert values.tolist() == [11.0, 22.0, 33.0, 44.0, 55.0]
+
+    def test_subtraction_and_scalar(self, small_numeric_table):
+        values = (col("b") - 5).evaluate(small_numeric_table)
+        assert values.tolist() == [5.0, 15.0, 25.0, 35.0, 45.0]
+
+    def test_multiplication(self, small_numeric_table):
+        values = (col("a") * 2).evaluate(small_numeric_table)
+        assert values.tolist() == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_division(self, small_numeric_table):
+        values = (col("b") / col("a")).evaluate(small_numeric_table)
+        assert values.tolist() == [10.0] * 5
+
+    def test_reflected_operators(self, small_numeric_table):
+        assert (1 + col("a")).evaluate(small_numeric_table).tolist() == [2.0, 3.0, 4.0, 5.0, 6.0]
+        assert (10 - col("a")).evaluate(small_numeric_table).tolist() == [9.0, 8.0, 7.0, 6.0, 5.0]
+        assert (2 * col("a")).evaluate(small_numeric_table)[0] == 2.0
+        assert (10 / col("a")).evaluate(small_numeric_table)[1] == 5.0
+
+    def test_negation(self, small_numeric_table):
+        values = (-col("a")).evaluate(small_numeric_table)
+        assert values.tolist() == [-1.0, -2.0, -3.0, -4.0, -5.0]
+
+    def test_referenced_columns_combined(self):
+        expression = (col("a") + col("b")) * col("c")
+        assert expression.referenced_columns() == {"a", "b", "c"}
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self, small_numeric_table):
+        assert (col("a") > 3).evaluate(small_numeric_table).tolist() == [False, False, False, True, True]
+        assert (col("a") >= 3).evaluate(small_numeric_table).tolist() == [False, False, True, True, True]
+        assert (col("a") < 2).evaluate(small_numeric_table).tolist() == [True, False, False, False, False]
+        assert (col("a") <= 2).evaluate(small_numeric_table).tolist() == [True, True, False, False, False]
+
+    def test_equality_on_strings(self, mixed_table):
+        mask = (col("name") == "beta").evaluate(mixed_table)
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_inequality_on_strings(self, mixed_table):
+        mask = (col("name") != "beta").evaluate(mixed_table)
+        assert mask.tolist() == [True, False, True, True]
+
+    def test_comparison_between_columns(self, small_numeric_table):
+        mask = (col("b") > col("a") * 10).evaluate(small_numeric_table)
+        assert mask.tolist() == [False] * 5
+
+    def test_operator_flip(self):
+        assert ComparisonOperator.LT.flip() is ComparisonOperator.GT
+        assert ComparisonOperator.GE.flip() is ComparisonOperator.LE
+        assert ComparisonOperator.EQ.flip() is ComparisonOperator.EQ
+
+
+class TestBooleanLogic:
+    def test_and(self, small_numeric_table):
+        mask = ((col("a") > 1) & (col("a") < 5)).evaluate(small_numeric_table)
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_or(self, small_numeric_table):
+        mask = ((col("a") == 1) | (col("a") == 5)).evaluate(small_numeric_table)
+        assert mask.tolist() == [True, False, False, False, True]
+
+    def test_not(self, small_numeric_table):
+        mask = (~(col("a") > 3)).evaluate(small_numeric_table)
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_logical_requires_two_operands(self):
+        with pytest.raises(ExpressionError):
+            LogicalOp(LogicalOperator.AND, [col("a") > 1])
+
+    def test_nested_expression_columns(self):
+        expression = ((col("a") > 1) & (col("b") < 2)) | (col("c") == 3)
+        assert expression.referenced_columns() == {"a", "b", "c"}
+
+
+class TestConvenience:
+    def test_is_between(self, small_numeric_table):
+        mask = col("a").is_between(2, 4).evaluate(small_numeric_table)
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_isin(self, mixed_table):
+        mask = col("name").isin(["alpha", "delta"]).evaluate(mixed_table)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_isin_numeric(self, small_numeric_table):
+        mask = col("a").isin([1.0, 5.0]).evaluate(small_numeric_table)
+        assert mask.tolist() == [True, False, False, False, True]
+
+    def test_repr_is_readable(self):
+        expression = (col("a") + 1) >= 2
+        text = repr(expression)
+        assert "a" in text and ">=" in text

@@ -1,0 +1,89 @@
+"""Tests for hash and sorted indexes."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.table import Table
+from repro.db.index import HashIndex, SortedIndex, build_group_index
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def indexed_table() -> Table:
+    return Table.from_dict(
+        {
+            "gid": [0, 1, 0, 2, 1, 0],
+            "value": [5.0, 3.0, 8.0, 1.0, 9.0, 2.0],
+            "label": ["a", "b", "a", "c", "b", "a"],
+        }
+    )
+
+
+class TestHashIndex:
+    def test_lookup(self, indexed_table):
+        index = HashIndex(indexed_table, "gid")
+        assert index.lookup(0).tolist() == [0, 2, 5]
+        assert index.lookup(2).tolist() == [3]
+
+    def test_lookup_missing_returns_empty(self, indexed_table):
+        index = HashIndex(indexed_table, "gid")
+        assert index.lookup(99).size == 0
+
+    def test_string_keys(self, indexed_table):
+        index = HashIndex(indexed_table, "label")
+        assert index.lookup("b").tolist() == [1, 4]
+
+    def test_contains_and_len(self, indexed_table):
+        index = HashIndex(indexed_table, "gid")
+        assert 1 in index
+        assert 42 not in index
+        assert len(index) == 3
+
+    def test_keys(self, indexed_table):
+        index = HashIndex(indexed_table, "gid")
+        assert sorted(index.keys()) == [0, 1, 2]
+
+    def test_numpy_scalar_lookup(self, indexed_table):
+        index = HashIndex(indexed_table, "gid")
+        assert index.lookup(np.int64(1)).tolist() == [1, 4]
+
+
+class TestSortedIndex:
+    def test_full_range(self, indexed_table):
+        index = SortedIndex(indexed_table, "value")
+        assert index.range().tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_bounded_range(self, indexed_table):
+        index = SortedIndex(indexed_table, "value")
+        assert index.range(low=3.0, high=8.0).tolist() == [0, 1, 2]
+
+    def test_exclusive_bounds(self, indexed_table):
+        index = SortedIndex(indexed_table, "value")
+        assert index.range(low=3.0, high=8.0, include_low=False, include_high=False).tolist() == [0]
+
+    def test_invalid_range(self, indexed_table):
+        index = SortedIndex(indexed_table, "value")
+        with pytest.raises(QueryError):
+            index.range(low=5.0, high=1.0)
+
+    def test_min_max(self, indexed_table):
+        index = SortedIndex(indexed_table, "value")
+        assert index.min() == 1.0
+        assert index.max() == 9.0
+
+    def test_min_on_empty_raises(self):
+        table = Table.from_dict({"x": []})
+        index = SortedIndex(table, "x")
+        with pytest.raises(QueryError):
+            index.min()
+
+    def test_requires_numeric_column(self, indexed_table):
+        with pytest.raises(Exception):
+            SortedIndex(indexed_table, "label")
+
+
+class TestGroupIndex:
+    def test_build_group_index(self, indexed_table):
+        groups = build_group_index(indexed_table, "gid")
+        assert set(groups) == {0, 1, 2}
+        assert groups[0].tolist() == [0, 2, 5]

@@ -1,0 +1,162 @@
+"""Tests for the relational operators (selection, projection, sort, group-by, joins)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Column, DataType, Schema
+from repro.dataset.table import Table
+from repro.db.aggregates import AggregateFunction, AggregateSpec
+from repro.db.expressions import col
+from repro.db.query import (
+    QueryBuilder,
+    from_table,
+    full_outer_join,
+    group_by,
+    group_labels,
+    inner_join,
+    order_by,
+)
+from repro.errors import QueryError
+
+
+class TestQueryBuilder:
+    def test_where_filters(self, small_numeric_table):
+        result = from_table(small_numeric_table).where(col("a") > 2).execute()
+        assert result.num_rows == 3
+
+    def test_conjunctive_where(self, small_numeric_table):
+        result = (
+            from_table(small_numeric_table)
+            .where(col("a") > 1)
+            .where(col("a") < 5)
+            .execute()
+        )
+        assert result.column("a").tolist() == [2.0, 3.0, 4.0]
+
+    def test_select_projects(self, small_numeric_table):
+        result = from_table(small_numeric_table).select("b", "a").execute()
+        assert result.schema.names == ("b", "a")
+
+    def test_order_by_descending(self, small_numeric_table):
+        result = from_table(small_numeric_table).order_by("a", descending=True).execute()
+        assert result.column("a").tolist() == [5.0, 4.0, 3.0, 2.0, 1.0]
+
+    def test_limit(self, small_numeric_table):
+        result = from_table(small_numeric_table).order_by("a").limit(2).execute()
+        assert result.num_rows == 2
+
+    def test_negative_limit_rejected(self, small_numeric_table):
+        with pytest.raises(QueryError):
+            from_table(small_numeric_table).limit(-1)
+
+    def test_matching_indices(self, small_numeric_table):
+        indices = from_table(small_numeric_table).where(col("c") == 1).matching_indices()
+        assert indices.tolist() == [0, 2, 4]
+
+    def test_combined_pipeline(self, recipes):
+        result = (
+            from_table(recipes)
+            .where(col("gluten") == "free")
+            .order_by("saturated_fat")
+            .limit(5)
+            .select("name", "saturated_fat")
+            .execute()
+        )
+        assert result.num_rows == 5
+        fats = result.column("saturated_fat")
+        assert all(fats[i] <= fats[i + 1] for i in range(len(fats) - 1))
+
+
+class TestOrderBy:
+    def test_multi_key_sort(self):
+        table = Table.from_dict({"k": [1, 2, 1, 2], "v": [9.0, 1.0, 3.0, 7.0]})
+        result = order_by(table, [("k", False), ("v", True)])
+        assert result.column("k").tolist() == [1, 1, 2, 2]
+        assert result.column("v").tolist() == [9.0, 3.0, 7.0, 1.0]
+
+    def test_string_sort_with_none(self, mixed_table):
+        result = order_by(mixed_table, [("category", False)])
+        # None sorts as empty string, i.e. first.
+        assert result.column("category")[0] is None
+
+    def test_empty_keys_returns_same(self, small_numeric_table):
+        assert order_by(small_numeric_table, []) is small_numeric_table
+
+
+class TestGroupBy:
+    def test_basic_aggregates(self):
+        table = Table.from_dict({"k": [1, 1, 2], "v": [10.0, 20.0, 5.0]})
+        result = group_by(
+            table,
+            ["k"],
+            [
+                AggregateSpec(AggregateFunction.COUNT, alias="n"),
+                AggregateSpec(AggregateFunction.SUM, "v", alias="total"),
+                AggregateSpec(AggregateFunction.AVG, "v", alias="mean"),
+            ],
+        )
+        assert result.num_rows == 2
+        rows = {row["k"]: row for row in result.rows()}
+        assert rows[1]["n"] == 2.0 and rows[1]["total"] == 30.0 and rows[1]["mean"] == 15.0
+        assert rows[2]["n"] == 1.0 and rows[2]["total"] == 5.0
+
+    def test_requires_keys(self, small_numeric_table):
+        with pytest.raises(QueryError):
+            group_by(small_numeric_table, [], [])
+
+    def test_group_by_string_key(self, mixed_table):
+        result = group_by(
+            mixed_table, ["category"], [AggregateSpec(AggregateFunction.COUNT, alias="n")]
+        )
+        counts = {row["category"]: row["n"] for row in result.rows()}
+        assert counts["x"] == 2.0
+        assert counts[None] == 1.0
+
+    def test_group_labels(self, small_numeric_table):
+        labels, distinct = group_labels(small_numeric_table, ["c"])
+        assert labels.tolist() == [0, 1, 0, 1, 0]
+        assert distinct.num_rows == 2
+
+
+class TestJoins:
+    @pytest.fixture
+    def left(self) -> Table:
+        return Table.from_dict({"id": [1, 2, 3], "x": [10.0, 20.0, 30.0]})
+
+    @pytest.fixture
+    def right(self) -> Table:
+        return Table.from_dict({"key": [2, 3, 3, 4], "y": [200.0, 300.0, 301.0, 400.0]})
+
+    def test_inner_join(self, left, right):
+        result = inner_join(left, right, [("id", "key")])
+        assert result.num_rows == 3
+        pairs = sorted(zip(result.column("id").tolist(), [float(v) for v in result.column("y")]))
+        assert pairs == [(2, 200.0), (3, 300.0), (3, 301.0)]
+
+    def test_inner_join_no_matches(self, left):
+        other = Table.from_dict({"key": [99], "y": [1.0]})
+        result = inner_join(left, other, [("id", "key")])
+        assert result.num_rows == 0
+
+    def test_join_requires_keys(self, left, right):
+        with pytest.raises(QueryError):
+            inner_join(left, right, [])
+
+    def test_full_outer_join_pads_with_nulls(self, left, right):
+        result = full_outer_join(left, right, [("id", "key")])
+        # 3 matched rows + 1 left-only (id=1) + 1 right-only (key=4).
+        assert result.num_rows == 5
+        # Float NULLs are represented as NaN (the library's convention).
+        assert result.null_mask("y").sum() == 1
+        assert result.null_mask("x").sum() == 1
+
+    def test_full_outer_join_column_clash_suffix(self):
+        left = Table.from_dict({"id": [1], "v": [1.0]})
+        right = Table.from_dict({"id2": [1], "v": [2.0]})
+        result = inner_join(left, right, [("id", "id2")], suffix="_r")
+        assert "v" in result.schema and "v_r" in result.schema
+
+    def test_prejoined_style_null_projection(self, left, right):
+        joined = full_outer_join(left, right, [("id", "key")])
+        clean = joined.drop_nulls(["x", "y"])
+        assert clean.num_rows == 3

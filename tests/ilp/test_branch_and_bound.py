@@ -1,0 +1,190 @@
+"""Tests for the branch-and-bound ILP solver.
+
+Correctness is checked against brute-force enumeration on small instances,
+including a hypothesis property test over random 0/1 knapsack problems, plus
+targeted tests for statuses, limits and configuration options.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp.branch_and_bound import (
+    BranchAndBoundSolver,
+    BranchingRule,
+    NodeSelection,
+    SolverLimits,
+)
+from repro.ilp.lp_backend import LpBackend
+from repro.ilp.model import ConstraintSense, IlpModel, ObjectiveSense
+from repro.ilp.status import SolverStatus
+
+
+def knapsack_model(values, weights, capacity) -> IlpModel:
+    model = IlpModel("knapsack")
+    for i in range(len(values)):
+        model.add_variable(f"x{i}", 0, 1)
+    model.add_constraint({i: float(w) for i, w in enumerate(weights)}, ConstraintSense.LE, capacity)
+    model.set_objective(ObjectiveSense.MAXIMIZE, {i: float(v) for i, v in enumerate(values)})
+    return model
+
+
+def brute_force_knapsack(values, weights, capacity) -> float:
+    best = 0.0
+    for selection in itertools.product([0, 1], repeat=len(values)):
+        weight = sum(w * s for w, s in zip(weights, selection))
+        if weight <= capacity:
+            best = max(best, sum(v * s for v, s in zip(values, selection)))
+    return best
+
+
+class TestCorrectness:
+    def test_knapsack_optimum(self, fast_solver):
+        model = knapsack_model([10, 13, 7, 8, 2], [5, 6, 4, 3, 1], 10)
+        solution = fast_solver.solve(model)
+        assert solution.status is SolverStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(23.0)
+        assert model.check_feasible(solution.values)
+
+    def test_minimisation(self, fast_solver):
+        # Cover demand of 5 units with items of size 3 and 2, minimising cost.
+        model = IlpModel()
+        model.add_variable("threes", 0, None)
+        model.add_variable("twos", 0, None)
+        model.add_constraint({0: 3.0, 1: 2.0}, ConstraintSense.GE, 5)
+        model.set_objective(ObjectiveSense.MINIMIZE, {0: 4.0, 1: 3.0})
+        solution = fast_solver.solve(model)
+        assert solution.status is SolverStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(7.0)  # one of each.
+
+    def test_equality_constraint(self, fast_solver):
+        model = IlpModel()
+        for i in range(4):
+            model.add_variable(f"x{i}", 0, 1)
+        model.add_constraint({i: 1.0 for i in range(4)}, ConstraintSense.EQ, 2)
+        model.set_objective(ObjectiveSense.MINIMIZE, {0: 5.0, 1: 1.0, 2: 3.0, 3: 2.0})
+        solution = fast_solver.solve(model)
+        assert solution.objective_value == pytest.approx(3.0)
+        assert solution.integral_values().sum() == 2
+
+    def test_infeasible_model(self, fast_solver):
+        model = IlpModel()
+        model.add_variable("x", 0, 1)
+        model.add_constraint({0: 1.0}, ConstraintSense.GE, 2)
+        assert fast_solver.solve(model).status is SolverStatus.INFEASIBLE
+
+    def test_integer_infeasible_but_lp_feasible(self, fast_solver):
+        # 2x = 3 has an LP solution (x = 1.5) but no integer solution.
+        model = IlpModel()
+        model.add_variable("x", 0, 5)
+        model.add_constraint({0: 2.0}, ConstraintSense.EQ, 3)
+        assert fast_solver.solve(model).status is SolverStatus.INFEASIBLE
+
+    def test_unbounded_model(self, fast_solver):
+        model = IlpModel()
+        model.add_variable("x", 0, None)
+        model.set_objective(ObjectiveSense.MAXIMIZE, {0: 1.0})
+        assert fast_solver.solve(model).status is SolverStatus.UNBOUNDED
+
+    def test_empty_model(self, fast_solver):
+        solution = fast_solver.solve(IlpModel())
+        assert solution.status is SolverStatus.OPTIMAL
+        assert solution.objective_value == 0.0
+
+    def test_feasibility_problem_without_objective(self, fast_solver):
+        model = IlpModel()
+        model.add_variable("x", 0, 3)
+        model.add_constraint({0: 1.0}, ConstraintSense.GE, 2)
+        solution = fast_solver.solve(model)
+        assert solution.status is SolverStatus.OPTIMAL
+        assert model.check_feasible(solution.values)
+
+    def test_mixed_integer_continuous(self, fast_solver):
+        model = IlpModel()
+        model.add_variable("x", 0, 10, is_integer=True)
+        model.add_variable("y", 0, 10, is_integer=False)
+        model.add_constraint({0: 1.0, 1: 1.0}, ConstraintSense.LE, 5.5)
+        model.set_objective(ObjectiveSense.MAXIMIZE, {0: 2.0, 1: 1.0})
+        solution = fast_solver.solve(model)
+        # x should take the largest integer (5), y the remaining 0.5.
+        assert solution.values[0] == pytest.approx(5.0)
+        assert solution.values[1] == pytest.approx(0.5, abs=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=7),
+        weights_seed=st.integers(min_value=0, max_value=10_000),
+        capacity_fraction=st.floats(min_value=0.2, max_value=0.9),
+    )
+    def test_random_knapsacks_match_brute_force(self, values, weights_seed, capacity_fraction):
+        rng = np.random.default_rng(weights_seed)
+        weights = rng.integers(1, 15, len(values)).tolist()
+        capacity = max(1, int(capacity_fraction * sum(weights)))
+        model = knapsack_model(values, weights, capacity)
+        solver = BranchAndBoundSolver(limits=SolverLimits(relative_gap=1e-9))
+        solution = solver.solve(model)
+        assert solution.status is SolverStatus.OPTIMAL
+        assert solution.objective_value == pytest.approx(
+            brute_force_knapsack(values, weights, capacity)
+        )
+        assert model.check_feasible(solution.values)
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("branching", list(BranchingRule))
+    @pytest.mark.parametrize("selection", list(NodeSelection))
+    def test_all_strategies_reach_the_optimum(self, branching, selection):
+        model = knapsack_model([6, 5, 4, 3, 2, 1], [4, 3, 3, 2, 2, 1], 8)
+        solver = BranchAndBoundSolver(
+            branching=branching,
+            node_selection=selection,
+            limits=SolverLimits(relative_gap=1e-9),
+        )
+        solution = solver.solve(model)
+        assert solution.objective_value == pytest.approx(
+            brute_force_knapsack([6, 5, 4, 3, 2, 1], [4, 3, 3, 2, 2, 1], 8)
+        )
+
+    def test_simplex_backend_gives_same_answer(self):
+        model = knapsack_model([10, 13, 7, 8, 2], [5, 6, 4, 3, 1], 10)
+        solver = BranchAndBoundSolver(lp_backend=LpBackend.SIMPLEX, limits=SolverLimits(relative_gap=1e-9))
+        assert solver.solve(model).objective_value == pytest.approx(23.0)
+
+    def test_rounding_heuristic_can_be_disabled(self):
+        model = knapsack_model([10, 13, 7, 8, 2], [5, 6, 4, 3, 1], 10)
+        solver = BranchAndBoundSolver(enable_rounding_heuristic=False, limits=SolverLimits(relative_gap=1e-9))
+        assert solver.solve(model).objective_value == pytest.approx(23.0)
+
+
+class TestLimits:
+    def test_capacity_limit_on_variables(self):
+        model = knapsack_model([1] * 20, [1] * 20, 10)
+        solver = BranchAndBoundSolver(limits=SolverLimits(max_variables=10))
+        solution = solver.solve(model)
+        assert solution.status is SolverStatus.CAPACITY_EXCEEDED
+        assert not solution.has_solution
+
+    def test_capacity_limit_on_constraints(self):
+        model = knapsack_model([1, 2], [1, 1], 2)
+        solver = BranchAndBoundSolver(limits=SolverLimits(max_constraints=0))
+        assert solver.solve(model).status is SolverStatus.CAPACITY_EXCEEDED
+
+    def test_node_limit_returns_best_incumbent(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(1, 100, 40).tolist()
+        weights = rng.integers(1, 50, 40).tolist()
+        model = knapsack_model(values, weights, int(0.4 * sum(weights)))
+        solver = BranchAndBoundSolver(limits=SolverLimits(node_limit=3, relative_gap=0.0))
+        solution = solver.solve(model)
+        assert solution.status in (SolverStatus.FEASIBLE, SolverStatus.TIME_LIMIT, SolverStatus.OPTIMAL)
+        if solution.has_solution:
+            assert model.check_feasible(solution.values)
+
+    def test_stats_are_populated(self, fast_solver):
+        model = knapsack_model([10, 13, 7, 8, 2], [5, 6, 4, 3, 1], 10)
+        solution = fast_solver.solve(model)
+        assert solution.stats.nodes_explored >= 1
+        assert solution.stats.lp_solves >= 1
+        assert solution.stats.wall_time_seconds >= 0.0

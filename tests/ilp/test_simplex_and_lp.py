@@ -1,0 +1,141 @@
+"""Tests for the dense simplex solver and the LP backend wrapper.
+
+The simplex implementation is cross-checked against SciPy's HiGHS on both
+hand-crafted and randomly generated LPs (a property-based consistency test).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp.lp_backend import LpBackend, solve_lp, solve_lp_dense
+from repro.ilp.model import ConstraintSense, IlpModel, ObjectiveSense
+from repro.ilp.simplex import SimplexStatus, solve_dense_simplex
+from repro.ilp.status import SolverStatus
+
+
+def simple_lp_model() -> IlpModel:
+    """max 3x + 2y s.t. x + y <= 4, x <= 2, x,y >= 0 → optimum 10 at (2, 2)."""
+    model = IlpModel()
+    model.add_variable("x", is_integer=False)
+    model.add_variable("y", is_integer=False)
+    model.add_constraint({0: 1.0, 1: 1.0}, ConstraintSense.LE, 4)
+    model.add_constraint({0: 1.0}, ConstraintSense.LE, 2)
+    model.set_objective(ObjectiveSense.MAXIMIZE, {0: 3.0, 1: 2.0})
+    return model
+
+
+class TestSimplexDirect:
+    def test_simple_maximisation(self):
+        model = simple_lp_model()
+        result = solve_lp(model, LpBackend.SIMPLEX)
+        assert result.status is SolverStatus.OPTIMAL
+        assert result.objective_value == pytest.approx(10.0)
+        assert result.values == pytest.approx([2.0, 2.0])
+
+    def test_equality_constraints(self):
+        result = solve_dense_simplex(
+            c=np.array([1.0, 1.0]),
+            a_ub=np.empty((0, 2)),
+            b_ub=np.empty(0),
+            a_eq=np.array([[1.0, 2.0]]),
+            b_eq=np.array([4.0]),
+            bounds=[(0.0, None), (0.0, None)],
+        )
+        assert result.status is SimplexStatus.OPTIMAL
+        assert result.objective == pytest.approx(2.0)  # y = 2, x = 0.
+
+    def test_infeasible(self):
+        result = solve_dense_simplex(
+            c=np.array([1.0]),
+            a_ub=np.array([[1.0], [-1.0]]),
+            b_ub=np.array([1.0, -3.0]),  # x <= 1 and x >= 3.
+            a_eq=np.empty((0, 1)),
+            b_eq=np.empty(0),
+            bounds=[(0.0, None)],
+        )
+        assert result.status is SimplexStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        result = solve_dense_simplex(
+            c=np.array([-1.0]),  # minimise -x with x unbounded above.
+            a_ub=np.empty((0, 1)),
+            b_ub=np.empty(0),
+            a_eq=np.empty((0, 1)),
+            b_eq=np.empty(0),
+            bounds=[(0.0, None)],
+        )
+        assert result.status is SimplexStatus.UNBOUNDED
+
+    def test_nonzero_lower_bounds(self):
+        result = solve_dense_simplex(
+            c=np.array([1.0, 1.0]),
+            a_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([10.0]),
+            a_eq=np.empty((0, 2)),
+            b_eq=np.empty(0),
+            bounds=[(2.0, 5.0), (1.0, None)],
+        )
+        assert result.status is SimplexStatus.OPTIMAL
+        assert result.x == pytest.approx([2.0, 1.0])
+        assert result.objective == pytest.approx(3.0)
+
+    def test_upper_bounds_respected(self):
+        result = solve_dense_simplex(
+            c=np.array([-1.0]),
+            a_ub=np.empty((0, 1)),
+            b_ub=np.empty(0),
+            a_eq=np.empty((0, 1)),
+            b_eq=np.empty(0),
+            bounds=[(0.0, 7.0)],
+        )
+        assert result.status is SimplexStatus.OPTIMAL
+        assert result.x[0] == pytest.approx(7.0)
+
+
+class TestBackendAgreement:
+    def test_highs_and_simplex_agree_on_simple_model(self):
+        model = simple_lp_model()
+        highs = solve_lp(model, LpBackend.HIGHS)
+        simplex = solve_lp(model, LpBackend.SIMPLEX)
+        assert highs.objective_value == pytest.approx(simplex.objective_value)
+
+    def test_highs_reports_infeasible(self):
+        model = IlpModel()
+        model.add_variable("x", upper=1, is_integer=False)
+        model.add_constraint({0: 1.0}, ConstraintSense.GE, 2)
+        assert solve_lp(model, LpBackend.HIGHS).status is SolverStatus.INFEASIBLE
+        assert solve_lp(model, LpBackend.SIMPLEX).status is SolverStatus.INFEASIBLE
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.data(),
+        num_vars=st.integers(min_value=1, max_value=4),
+        num_constraints=st.integers(min_value=1, max_value=4),
+    )
+    def test_random_lps_agree_with_highs(self, data, num_vars, num_constraints):
+        """Property: on random bounded LPs, the simplex matches HiGHS.
+
+        Variables are box-bounded so the LP is never unbounded; both backends
+        must agree on feasibility, and on the optimal objective value when
+        feasible.
+        """
+        coefficient = st.integers(min_value=-5, max_value=5)
+        c = np.array([data.draw(coefficient) for _ in range(num_vars)], dtype=float)
+        a_ub = np.array(
+            [[data.draw(coefficient) for _ in range(num_vars)] for _ in range(num_constraints)],
+            dtype=float,
+        )
+        b_ub = np.array([data.draw(st.integers(min_value=-3, max_value=10)) for _ in range(num_constraints)], dtype=float)
+        bounds = [(0.0, 5.0)] * num_vars
+
+        simplex = solve_dense_simplex(c, a_ub, b_ub, np.empty((0, num_vars)), np.empty(0), bounds)
+
+        from scipy.optimize import linprog
+
+        reference = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        if reference.status == 2:
+            assert simplex.status is SimplexStatus.INFEASIBLE
+        elif reference.status == 0:
+            assert simplex.status is SimplexStatus.OPTIMAL
+            assert simplex.objective == pytest.approx(reference.fun, abs=1e-6)

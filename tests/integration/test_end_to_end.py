@@ -1,0 +1,129 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests tie together the PaQL front-end, translation, solvers, partitioning
+and both evaluation strategies on the benchmark workloads, checking the
+invariants the paper relies on: every returned package is feasible, DIRECT is
+optimal (matches the exhaustive oracle on small data), and SKETCHREFINE's
+objective is bounded by DIRECT's.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PackageQueryEngine
+from repro.core.direct import DirectEvaluator
+from repro.core.naive import ExhaustiveSearchEvaluator
+from repro.core.sketchrefine import SketchRefineEvaluator
+from repro.core.validation import check_package, objective_value
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
+from repro.paql.ast import ObjectiveDirection
+from repro.partition.quadtree import QuadTreePartitioner
+from repro.workloads.galaxy import galaxy_table, galaxy_workload
+from repro.workloads.tpch import query_projection, tpch_table, tpch_workload
+
+
+def make_solver() -> BranchAndBoundSolver:
+    return BranchAndBoundSolver(
+        limits=SolverLimits(relative_gap=1e-4, node_limit=3000, time_limit_seconds=30)
+    )
+
+
+@pytest.fixture(scope="module")
+def galaxy_setup():
+    table = galaxy_table(500, seed=17)
+    workload = galaxy_workload(table, seed=17)
+    partitioning = QuadTreePartitioner(size_threshold=50).partition(
+        table, workload.workload_attributes
+    )
+    return table, workload, partitioning
+
+
+@pytest.fixture(scope="module")
+def tpch_setup():
+    table = tpch_table(700, seed=17)
+    workload = tpch_workload(table, seed=17)
+    return table, workload
+
+
+class TestGalaxyWorkload:
+    @pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7"])
+    def test_both_methods_return_feasible_packages(self, galaxy_setup, query_name):
+        table, workload, partitioning = galaxy_setup
+        query = workload.query(query_name).query
+        direct = DirectEvaluator(solver=make_solver()).evaluate(table, query)
+        sketch = SketchRefineEvaluator(solver=make_solver()).evaluate(table, query, partitioning)
+        assert check_package(direct, query).feasible
+        assert check_package(sketch, query).feasible
+
+    @pytest.mark.parametrize("query_name", ["Q1", "Q5", "Q7"])
+    def test_sketchrefine_never_beats_direct_by_construction(self, galaxy_setup, query_name):
+        """DIRECT solves the full problem: its objective must be at least as
+        good as SKETCHREFINE's (up to the solver's MIP gap)."""
+        table, workload, partitioning = galaxy_setup
+        query = workload.query(query_name).query
+        direct_value = objective_value(
+            DirectEvaluator(solver=make_solver()).evaluate(table, query), query
+        )
+        sketch_value = objective_value(
+            SketchRefineEvaluator(solver=make_solver()).evaluate(table, query, partitioning), query
+        )
+        slack = 1e-3 * max(1.0, abs(direct_value))
+        if query.objective.direction is ObjectiveDirection.MAXIMIZE:
+            assert sketch_value <= direct_value + slack
+        else:
+            assert sketch_value >= direct_value - slack
+
+
+class TestTpchWorkload:
+    @pytest.mark.parametrize("query_name", ["Q1", "Q3", "Q5", "Q7"])
+    def test_pipeline_on_null_projected_tables(self, tpch_setup, query_name):
+        table, workload = tpch_setup
+        workload_query = workload.query(query_name)
+        projection = query_projection(table, workload_query.query)
+        partitioning = QuadTreePartitioner(size_threshold=max(10, projection.num_rows // 10)).partition(
+            projection, sorted(workload_query.attributes)
+        )
+        query = workload_query.query
+        # Rebind the query to the projected relation name.
+        from repro.bench.harness import restrict_workload_query
+
+        query = restrict_workload_query(workload_query, projection.name).query
+        direct = DirectEvaluator(solver=make_solver()).evaluate(projection, query)
+        sketch = SketchRefineEvaluator(solver=make_solver()).evaluate(projection, query, partitioning)
+        assert check_package(direct, query).feasible
+        assert check_package(sketch, query).feasible
+
+
+class TestDirectOptimality:
+    def test_direct_matches_exhaustive_oracle_on_galaxy_sample(self):
+        table = galaxy_table(18, seed=23)
+        mean_redshift = float(np.mean(table.numeric_column("redshift")))
+        from repro.paql.builder import query_over
+
+        query = (
+            query_over("galaxy")
+            .no_repetition()
+            .count_equals(3)
+            .sum_at_most("redshift", mean_redshift * 4)
+            .maximize_sum("petroFlux_r")
+            .build()
+        )
+        exact = BranchAndBoundSolver(limits=SolverLimits(relative_gap=1e-9))
+        direct = DirectEvaluator(solver=exact).evaluate(table, query)
+        oracle = ExhaustiveSearchEvaluator(max_cardinality=3).evaluate(table, query)
+        assert objective_value(direct, query) == pytest.approx(
+            objective_value(oracle, query), rel=1e-6
+        )
+
+
+class TestEngineOnWorkloads:
+    def test_engine_runs_galaxy_queries_through_both_paths(self, galaxy_setup):
+        table, workload, partitioning = galaxy_setup
+        engine = PackageQueryEngine(solver=make_solver())
+        engine.register_table(table)
+        engine.register_partitioning("galaxy", partitioning)
+        query = workload.query("Q5").query
+        direct_result = engine.execute(query, method="direct")
+        sketch_result = engine.execute(query, method="sketchrefine")
+        assert direct_result.feasible and sketch_result.feasible
+        assert direct_result.objective >= sketch_result.objective - 1e-6  # maximisation

@@ -1,0 +1,181 @@
+"""Property-based tests of the core invariants (hypothesis).
+
+The properties exercised here are the ones the paper's correctness story rests
+on:
+
+* the PaQL→ILP translation preserves semantics — any feasible ILP solution
+  converts back into a package that satisfies the original query, and DIRECT's
+  objective equals the best objective found by brute force on tiny inputs;
+* SKETCHREFINE only ever returns feasible packages, never better than DIRECT
+  on maximisation (and never worse-than-allowed with a radius-limited
+  partitioning);
+* packages aggregate like multisets (combining packages adds their aggregates).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.direct import DirectEvaluator
+from repro.core.naive import ExhaustiveSearchEvaluator
+from repro.core.package import Package
+from repro.core.sketchrefine import SketchRefineEvaluator
+from repro.core.validation import check_package, objective_value
+from repro.dataset.table import Table
+from repro.errors import InfeasiblePackageQueryError
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
+from repro.paql.ast import ObjectiveDirection
+from repro.paql.builder import query_over
+from repro.partition.quadtree import QuadTreePartitioner
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def exact_solver() -> BranchAndBoundSolver:
+    return BranchAndBoundSolver(limits=SolverLimits(relative_gap=1e-9, node_limit=5000))
+
+
+def random_table(data: st.DataObject, min_rows: int = 4, max_rows: int = 12) -> Table:
+    num_rows = data.draw(st.integers(min_value=min_rows, max_value=max_rows), label="rows")
+    seed = data.draw(st.integers(min_value=0, max_value=10_000), label="seed")
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "value": np.round(rng.uniform(1.0, 20.0, num_rows), 3),
+            "cost": np.round(rng.uniform(1.0, 10.0, num_rows), 3),
+            "weight": np.round(rng.uniform(0.5, 5.0, num_rows), 3),
+        },
+        name="items",
+    )
+
+
+def random_query(data: st.DataObject, table: Table):
+    cardinality = data.draw(
+        st.integers(min_value=1, max_value=min(4, table.num_rows)), label="cardinality"
+    )
+    maximize = data.draw(st.booleans(), label="maximize")
+    weight = table.numeric_column("weight")
+    budget_factor = data.draw(st.floats(min_value=0.8, max_value=2.0), label="budget")
+    builder = (
+        query_over("items")
+        .no_repetition()
+        .count_equals(cardinality)
+        .sum_at_most("weight", float(weight.mean()) * cardinality * budget_factor)
+    )
+    if maximize:
+        builder = builder.maximize_sum("value")
+    else:
+        builder = builder.minimize_sum("cost")
+    return builder.build()
+
+
+class TestTranslationSemantics:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_direct_is_optimal_and_feasible_on_random_instances(self, data):
+        table = random_table(data)
+        query = random_query(data, table)
+        oracle = ExhaustiveSearchEvaluator(max_cardinality=4)
+        try:
+            oracle_package = oracle.evaluate(table, query)
+        except InfeasiblePackageQueryError:
+            with pytest.raises(InfeasiblePackageQueryError):
+                DirectEvaluator(solver=exact_solver()).evaluate(table, query)
+            return
+        direct_package = DirectEvaluator(solver=exact_solver()).evaluate(table, query)
+        assert check_package(direct_package, query).feasible
+        assert objective_value(direct_package, query) == pytest.approx(
+            objective_value(oracle_package, query), rel=1e-6, abs=1e-6
+        )
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_sketchrefine_feasibility_and_bound(self, data):
+        table = random_table(data, min_rows=8, max_rows=20)
+        query = random_query(data, table)
+        partitioning = QuadTreePartitioner(size_threshold=max(2, table.num_rows // 3)).partition(
+            table, ["value", "cost", "weight"]
+        )
+        try:
+            direct_package = DirectEvaluator(solver=exact_solver()).evaluate(table, query)
+        except InfeasiblePackageQueryError:
+            return  # Nothing to compare against.
+        try:
+            sketch_package = SketchRefineEvaluator(solver=exact_solver()).evaluate(
+                table, query, partitioning
+            )
+        except InfeasiblePackageQueryError as error:
+            # False infeasibility is permitted by the theory (and flagged).
+            assert error.false_negative_possible
+            return
+        assert check_package(sketch_package, query).feasible
+        direct_value = objective_value(direct_package, query)
+        sketch_value = objective_value(sketch_package, query)
+        slack = 1e-6 * max(1.0, abs(direct_value))
+        if query.objective.direction is ObjectiveDirection.MAXIMIZE:
+            assert sketch_value <= direct_value + slack
+        else:
+            assert sketch_value >= direct_value - slack
+
+
+class TestPackageAlgebra:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_combine_adds_aggregates(self, data):
+        table = random_table(data, min_rows=5, max_rows=15)
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000), label="pkg_seed"))
+        first = Package.from_multiplicity_map(
+            table, {int(i): int(rng.integers(1, 3)) for i in rng.choice(table.num_rows, 3, replace=False)}
+        )
+        second = Package.from_multiplicity_map(
+            table, {int(i): int(rng.integers(1, 3)) for i in rng.choice(table.num_rows, 2, replace=False)}
+        )
+        combined = first.combine(second)
+        assert combined.count() == pytest.approx(first.count() + second.count())
+        assert combined.sum("value") == pytest.approx(first.sum("value") + second.sum("value"))
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_materialized_table_matches_aggregates(self, data):
+        table = random_table(data)
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000), label="pkg_seed"))
+        package = Package.from_multiplicity_map(
+            table, {int(i): int(rng.integers(1, 4)) for i in range(min(3, table.num_rows))}
+        )
+        materialized = package.materialize()
+        assert materialized.num_rows == package.cardinality
+        assert float(materialized.numeric_column("cost").sum()) == pytest.approx(package.sum("cost"))
+
+
+class TestPartitioningProperties:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_quadtree_is_a_partition_and_respects_tau(self, data):
+        table = random_table(data, min_rows=10, max_rows=40)
+        tau = data.draw(st.integers(min_value=2, max_value=10), label="tau")
+        partitioning = QuadTreePartitioner(size_threshold=tau).partition(
+            table, ["value", "cost"]
+        )
+        # Every row in exactly one group.
+        assert partitioning.group_sizes().sum() == table.num_rows
+        # Size threshold respected unless a group is degenerate (identical tuples).
+        for gid in range(partitioning.num_groups):
+            if partitioning.group_size(gid) > tau:
+                rows = partitioning.group_rows(gid)
+                matrix = table.numeric_matrix(["value", "cost"])[rows]
+                assert np.allclose(matrix, matrix[0])
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_group_radius_bounds_member_deviation(self, data):
+        table = random_table(data, min_rows=10, max_rows=30)
+        partitioning = QuadTreePartitioner(size_threshold=5).partition(table, ["value"])
+        for gid in range(partitioning.num_groups):
+            rows = partitioning.group_rows(gid)
+            centroid = partitioning.representatives.numeric_column("value")[gid]
+            deviations = np.abs(table.numeric_column("value")[rows] - centroid)
+            assert deviations.max() <= partitioning.group_radius(gid) + 1e-9

@@ -1,0 +1,106 @@
+"""Tests for the PaQL tokenizer."""
+
+import pytest
+
+from repro.errors import PaQLSyntaxError
+from repro.paql.lexer import Token, TokenType, tokenize
+
+
+def token_values(text: str) -> list[tuple[TokenType, str]]:
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]  # drop END
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = token_values("select Package FROM where")
+        assert tokens == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "PACKAGE"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        tokens = token_values("Recipes saturated_fat")
+        assert tokens == [
+            (TokenType.IDENTIFIER, "Recipes"),
+            (TokenType.IDENTIFIER, "saturated_fat"),
+        ]
+
+    def test_numbers(self):
+        tokens = token_values("3 2.5 .75 1e3 2.5E-2")
+        assert [v for _, v in tokens] == ["3", "2.5", ".75", "1e3", "2.5E-2"]
+        assert all(t is TokenType.NUMBER for t, _ in tokens)
+
+    def test_string_literal(self):
+        tokens = token_values("'free'")
+        assert tokens == [(TokenType.STRING, "free")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(PaQLSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = token_values("= <> <= >= < > != + - * /")
+        values = [v for _, v in tokens]
+        assert values == ["=", "<>", "<=", ">=", "<", ">", "<>", "+", "-", "*", "/"]
+
+    def test_punctuation(self):
+        tokens = token_values("( ) , .")
+        assert [t for t, _ in tokens] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(PaQLSyntaxError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_end_token_always_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.END
+
+
+class TestPositionsAndComments:
+    def test_line_tracking(self):
+        tokens = tokenize("SELECT\nPACKAGE")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_sql_comment_skipped(self):
+        tokens = token_values("SELECT -- this is a comment\n PACKAGE")
+        assert [v for _, v in tokens] == ["SELECT", "PACKAGE"]
+
+    def test_error_reports_location(self):
+        with pytest.raises(PaQLSyntaxError) as excinfo:
+            tokenize("SELECT\n  %")
+        assert excinfo.value.line == 2
+
+    def test_matches_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 1, 1)
+        assert token.matches_keyword("SELECT")
+        assert not token.matches_keyword("FROM")
+
+
+class TestRealQueries:
+    def test_running_example_tokenizes(self):
+        text = """
+        SELECT PACKAGE(R) AS P
+        FROM Recipes R REPEAT 0
+        WHERE R.gluten = 'free'
+        SUCH THAT COUNT(P.*) = 3
+        MINIMIZE SUM(P.saturated_fat)
+        """
+        tokens = tokenize(text)
+        keywords = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert "PACKAGE" in keywords
+        assert "REPEAT" in keywords
+        assert "MINIMIZE" in keywords
+        assert tokens[-1].type is TokenType.END
+
+    def test_star_inside_count(self):
+        tokens = token_values("COUNT(P.*)")
+        assert (TokenType.STAR, "*") in tokens

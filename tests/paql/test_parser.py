@@ -1,0 +1,207 @@
+"""Tests for the PaQL recursive-descent parser."""
+
+import pytest
+
+from repro.db.aggregates import AggregateFunction
+from repro.db.expressions import Comparison, LogicalOp, Not
+from repro.errors import PaQLSyntaxError
+from repro.paql.ast import ConstraintSenseKeyword, ObjectiveDirection
+from repro.paql.parser import parse_paql
+
+
+RUNNING_EXAMPLE = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R REPEAT 0
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(P.*) = 3 AND
+          SUM(P.kcal) BETWEEN 2.0 AND 2.5
+MINIMIZE SUM(P.saturated_fat)
+"""
+
+
+class TestStructure:
+    def test_running_example(self):
+        query = parse_paql(RUNNING_EXAMPLE)
+        assert query.relation == "Recipes"
+        assert query.relation_alias == "R"
+        assert query.package_alias == "P"
+        assert query.repeat == 0
+        assert query.base_predicate is not None
+        assert len(query.global_constraints) == 2
+        assert query.objective.direction is ObjectiveDirection.MINIMIZE
+
+    def test_minimal_query(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM Recipes R")
+        assert query.repeat is None
+        assert query.base_predicate is None
+        assert query.global_constraints == []
+        assert query.objective is None
+
+    def test_alias_without_as(self):
+        query = parse_paql("SELECT PACKAGE(T) pkg FROM items T")
+        assert query.package_alias == "pkg"
+        assert query.relation_alias == "T"
+
+    def test_repeat_value(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R REPEAT 3")
+        assert query.repeat == 3
+        assert query.max_multiplicity == 4
+
+    def test_maximize(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R MAXIMIZE SUM(P.x)")
+        assert query.objective.direction is ObjectiveDirection.MAXIMIZE
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PaQLSyntaxError):
+            parse_paql("SELECT PACKAGE(R) AS P FROM t R banana banana")
+
+    def test_missing_package_keyword(self):
+        with pytest.raises(PaQLSyntaxError):
+            parse_paql("SELECT * FROM t")
+
+
+class TestBasePredicates:
+    def test_alias_qualified_columns_are_stripped(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R WHERE R.kcal >= 10")
+        assert query.base_predicate.referenced_columns() == {"kcal"}
+
+    def test_and_or_not(self):
+        query = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R "
+            "WHERE R.a = 1 AND NOT R.b = 2 OR R.c <= 3"
+        )
+        predicate = query.base_predicate
+        assert isinstance(predicate, LogicalOp)
+        assert predicate.referenced_columns() == {"a", "b", "c"}
+
+    def test_between_in_where(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R WHERE R.x BETWEEN 1 AND 5")
+        assert isinstance(query.base_predicate, LogicalOp)
+
+    def test_in_list(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R WHERE R.tag IN ('a', 'b')")
+        assert query.base_predicate.referenced_columns() == {"tag"}
+
+    def test_arithmetic_in_predicate(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R WHERE R.a + R.b * 2 > 10")
+        assert query.base_predicate.referenced_columns() == {"a", "b"}
+
+    def test_parenthesised_boolean_group(self):
+        query = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R WHERE (R.a = 1 OR R.b = 2) AND R.c = 3"
+        )
+        assert isinstance(query.base_predicate, LogicalOp)
+
+
+class TestGlobalConstraints:
+    def test_count_equality(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R SUCH THAT COUNT(P.*) = 3")
+        constraint = query.global_constraints[0]
+        assert constraint.sense is ConstraintSenseKeyword.EQ
+        assert constraint.lower == 3
+        function = constraint.expression.terms[0][1].function
+        assert function is AggregateFunction.COUNT
+
+    def test_between_constraint(self):
+        query = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT SUM(P.x) BETWEEN 1 AND 2"
+        )
+        constraint = query.global_constraints[0]
+        assert constraint.sense is ConstraintSenseKeyword.BETWEEN
+        assert (constraint.lower, constraint.upper) == (1.0, 2.0)
+
+    def test_strict_inequalities_mapped(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R SUCH THAT SUM(P.x) < 5 AND SUM(P.y) > 1")
+        assert query.global_constraints[0].sense is ConstraintSenseKeyword.LE
+        assert query.global_constraints[1].sense is ConstraintSenseKeyword.GE
+
+    def test_avg_constraint(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R SUCH THAT AVG(P.x) <= 0.5")
+        aggregate = query.global_constraints[0].expression.terms[0][1]
+        assert aggregate.function is AggregateFunction.AVG
+
+    def test_aggregate_comparison_normalised(self):
+        query = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT SUM(P.x) >= SUM(P.y)"
+        )
+        constraint = query.global_constraints[0]
+        assert constraint.lower == 0.0
+        coefficients = [c for c, _ in constraint.expression.terms]
+        assert coefficients == [1.0, -1.0]
+
+    def test_constant_on_left(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R SUCH THAT 5 <= COUNT(P.*)")
+        constraint = query.global_constraints[0]
+        # 5 - COUNT <= 0  ->  -COUNT <= -5
+        assert constraint.sense is ConstraintSenseKeyword.LE
+        assert constraint.lower == -5.0
+        assert constraint.expression.terms[0][0] == -1.0
+
+    def test_linear_combination(self):
+        query = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT 2 * SUM(P.x) - SUM(P.y) / 2 <= 10"
+        )
+        coefficients = [c for c, _ in query.global_constraints[0].expression.terms]
+        assert coefficients == [2.0, -0.5]
+
+    def test_subquery_aggregate_with_filter(self):
+        query = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R "
+            "SUCH THAT (SELECT COUNT(*) FROM P WHERE P.carbs > 0) >= 2"
+        )
+        aggregate = query.global_constraints[0].expression.terms[0][1]
+        assert aggregate.function is AggregateFunction.COUNT
+        assert aggregate.filter is not None
+        assert aggregate.filter.referenced_columns() == {"carbs"}
+
+    def test_subquery_sum_with_filter(self):
+        query = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R "
+            "SUCH THAT (SELECT SUM(price) FROM P WHERE P.qty >= 2) <= 100"
+        )
+        aggregate = query.global_constraints[0].expression.terms[0][1]
+        assert aggregate.function is AggregateFunction.SUM
+        assert aggregate.column == "price"
+
+    def test_filtered_count_comparison(self):
+        query = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT "
+            "(SELECT COUNT(*) FROM P WHERE P.carbs > 0) >= "
+            "(SELECT COUNT(*) FROM P WHERE P.protein <= 5)"
+        )
+        terms = query.global_constraints[0].expression.terms
+        assert len(terms) == 2
+        assert terms[0][0] == 1.0 and terms[1][0] == -1.0
+
+    def test_or_between_constraints_rejected(self):
+        with pytest.raises(PaQLSyntaxError, match="disjunctions"):
+            parse_paql(
+                "SELECT PACKAGE(R) AS P FROM t R SUCH THAT COUNT(P.*) = 1 OR COUNT(P.*) = 2"
+            )
+
+    def test_product_of_aggregates_rejected(self):
+        with pytest.raises(PaQLSyntaxError, match="non-linear"):
+            parse_paql("SELECT PACKAGE(R) AS P FROM t R SUCH THAT SUM(P.x) * SUM(P.y) <= 1")
+
+    def test_not_equal_rejected_in_global(self):
+        with pytest.raises(PaQLSyntaxError):
+            parse_paql("SELECT PACKAGE(R) AS P FROM t R SUCH THAT COUNT(P.*) <> 3")
+
+    def test_between_with_non_constant_bound_rejected(self):
+        with pytest.raises(PaQLSyntaxError, match="constants"):
+            parse_paql(
+                "SELECT PACKAGE(R) AS P FROM t R SUCH THAT SUM(P.x) BETWEEN SUM(P.y) AND 5"
+            )
+
+
+class TestObjective:
+    def test_objective_expression(self):
+        query = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R MAXIMIZE 2 * SUM(P.x) - COUNT(P.*)"
+        )
+        terms = query.objective.expression.terms
+        assert [c for c, _ in terms] == [2.0, -1.0]
+
+    def test_count_objective(self):
+        query = parse_paql("SELECT PACKAGE(R) AS P FROM t R MINIMIZE COUNT(P.*)")
+        assert query.objective.expression.terms[0][1].function is AggregateFunction.COUNT

@@ -1,0 +1,91 @@
+"""Tests for PaQL semantic validation."""
+
+import pytest
+
+from repro.dataset.schema import Column, DataType, Schema
+from repro.errors import PaQLValidationError
+from repro.paql.parser import parse_paql
+from repro.paql.validator import validate_query
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Column("kcal", DataType.FLOAT),
+            Column("fat", DataType.FLOAT),
+            Column("gluten", DataType.STRING),
+        ]
+    )
+
+
+def make(text: str):
+    return parse_paql(text)
+
+
+class TestColumnChecks:
+    def test_valid_query_passes(self, schema):
+        query = make(
+            "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' "
+            "SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) <= 10 MINIMIZE SUM(P.fat)"
+        )
+        validate_query(query, schema)
+
+    def test_unknown_column_in_constraint(self, schema):
+        query = make("SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT SUM(P.protein) <= 10")
+        with pytest.raises(PaQLValidationError, match="protein"):
+            validate_query(query, schema)
+
+    def test_unknown_column_in_where(self, schema):
+        query = make("SELECT PACKAGE(R) AS P FROM recipes R WHERE R.vitamin = 1")
+        with pytest.raises(PaQLValidationError, match="vitamin"):
+            validate_query(query, schema)
+
+    def test_unknown_column_in_objective(self, schema):
+        query = make("SELECT PACKAGE(R) AS P FROM recipes R MINIMIZE SUM(P.sugar)")
+        with pytest.raises(PaQLValidationError, match="sugar"):
+            validate_query(query, schema)
+
+    def test_error_lists_available_columns(self, schema):
+        query = make("SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT SUM(P.protein) <= 1")
+        with pytest.raises(PaQLValidationError, match="kcal"):
+            validate_query(query, schema)
+
+
+class TestTypeChecks:
+    def test_sum_over_string_column_rejected(self, schema):
+        query = make("SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT SUM(P.gluten) <= 1")
+        with pytest.raises(PaQLValidationError, match="non-numeric"):
+            validate_query(query, schema)
+
+    def test_string_column_in_where_is_fine(self, schema):
+        query = make(
+            "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' "
+            "SUCH THAT COUNT(P.*) = 1"
+        )
+        validate_query(query, schema)
+
+    def test_filtered_count_on_string_filter_is_fine(self, schema):
+        query = make(
+            "SELECT PACKAGE(R) AS P FROM recipes R "
+            "SUCH THAT (SELECT COUNT(*) FROM P WHERE P.gluten = 'free') >= 1"
+        )
+        validate_query(query, schema)
+
+
+class TestAvgRules:
+    def test_avg_alone_is_fine(self, schema):
+        query = make("SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT AVG(P.kcal) <= 1")
+        validate_query(query, schema)
+
+    def test_avg_mixed_with_other_terms_rejected(self, schema):
+        query = make(
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT AVG(P.kcal) + COUNT(P.*) <= 1"
+        )
+        with pytest.raises(PaQLValidationError, match="AVG"):
+            validate_query(query, schema)
+
+    def test_avg_objective_rejected(self, schema):
+        query = make("SELECT PACKAGE(R) AS P FROM recipes R MINIMIZE AVG(P.kcal)")
+        with pytest.raises(PaQLValidationError, match="AVG"):
+            validate_query(query, schema)

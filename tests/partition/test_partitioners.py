@@ -1,0 +1,135 @@
+"""Tests for the quad-tree, k-d tree and k-means partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition.kdtree import KdTreePartitioner
+from repro.partition.kmeans import KMeansPartitioner
+from repro.partition.quadtree import QuadTreePartitioner
+from repro.workloads.galaxy import galaxy_table
+
+
+@pytest.fixture(scope="module")
+def galaxy():
+    return galaxy_table(600, seed=9)
+
+
+ATTRIBUTES = ["petroMag_r", "petroFlux_r", "redshift"]
+
+
+class TestQuadTree:
+    def test_respects_size_threshold(self, galaxy):
+        partitioning = QuadTreePartitioner(size_threshold=60).partition(galaxy, ATTRIBUTES)
+        assert partitioning.satisfies_size_threshold(60)
+        assert partitioning.num_groups >= galaxy.num_rows // 60
+
+    def test_every_row_assigned_exactly_once(self, galaxy):
+        partitioning = QuadTreePartitioner(size_threshold=100).partition(galaxy, ATTRIBUTES)
+        assert partitioning.group_ids.shape == (galaxy.num_rows,)
+        assert partitioning.group_sizes().sum() == galaxy.num_rows
+
+    def test_radius_limit_enforced(self, galaxy):
+        no_radius = QuadTreePartitioner(size_threshold=300).partition(galaxy, ATTRIBUTES)
+        omega = no_radius.max_radius() / 2
+        limited = QuadTreePartitioner(size_threshold=300, radius_limit=omega).partition(
+            galaxy, ATTRIBUTES
+        )
+        assert limited.satisfies_radius_limit(omega)
+        assert limited.num_groups >= no_radius.num_groups
+
+    def test_single_group_when_threshold_large(self, galaxy):
+        partitioning = QuadTreePartitioner(size_threshold=10_000).partition(galaxy, ATTRIBUTES)
+        assert partitioning.num_groups == 1
+
+    def test_degenerate_identical_tuples(self):
+        from repro.dataset.table import Table
+
+        table = Table.from_dict({"x": [1.0] * 20, "y": [2.0] * 20})
+        partitioning = QuadTreePartitioner(size_threshold=5).partition(table, ["x", "y"])
+        # All tuples identical: the split is degenerate, one group remains
+        # (the size threshold cannot be met, which is acceptable behaviour).
+        assert partitioning.num_groups == 1
+        assert partitioning.max_radius() == 0.0
+
+    def test_invalid_parameters(self, galaxy):
+        with pytest.raises(PartitioningError):
+            QuadTreePartitioner(size_threshold=0)
+        with pytest.raises(PartitioningError):
+            QuadTreePartitioner(size_threshold=5, radius_limit=-1.0)
+        with pytest.raises(PartitioningError):
+            QuadTreePartitioner(size_threshold=5).partition(galaxy, [])
+
+    def test_requires_numeric_attributes(self, recipes):
+        with pytest.raises(Exception):
+            QuadTreePartitioner(size_threshold=5).partition(recipes, ["gluten"])
+
+    def test_stats_populated(self, galaxy):
+        partitioning = QuadTreePartitioner(size_threshold=60).partition(galaxy, ATTRIBUTES)
+        stats = partitioning.stats
+        assert stats.method == "quadtree"
+        assert stats.num_groups == partitioning.num_groups
+        assert stats.max_group_size <= 60
+        assert stats.build_seconds >= 0.0
+        assert stats.max_radius >= 0.0
+
+    def test_empty_table(self):
+        from repro.dataset.table import Table
+
+        table = Table.from_dict({"x": []})
+        partitioning = QuadTreePartitioner(size_threshold=5).partition(table, ["x"])
+        assert partitioning.num_groups == 0
+
+    def test_nan_values_tolerated(self):
+        from repro.dataset.table import Table
+
+        table = Table.from_dict({"x": [1.0, None, 3.0, 4.0], "y": [1.0, 2.0, None, 4.0]})
+        partitioning = QuadTreePartitioner(size_threshold=2).partition(table, ["x", "y"])
+        assert partitioning.group_sizes().sum() == 4
+
+
+class TestKdTree:
+    def test_respects_size_threshold(self, galaxy):
+        partitioning = KdTreePartitioner(size_threshold=50).partition(galaxy, ATTRIBUTES)
+        assert partitioning.satisfies_size_threshold(50)
+
+    def test_balanced_group_count(self, galaxy):
+        partitioning = KdTreePartitioner(size_threshold=75).partition(galaxy, ATTRIBUTES)
+        # Median splits give group counts close to n / tau (within a factor 4).
+        expected = galaxy.num_rows / 75
+        assert expected <= partitioning.num_groups <= 4 * expected
+
+    def test_radius_limit(self, galaxy):
+        base = KdTreePartitioner(size_threshold=300).partition(galaxy, ATTRIBUTES)
+        omega = base.max_radius() / 2
+        limited = KdTreePartitioner(size_threshold=300, radius_limit=omega).partition(
+            galaxy, ATTRIBUTES
+        )
+        assert limited.satisfies_radius_limit(omega)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(PartitioningError):
+            KdTreePartitioner(size_threshold=0)
+
+
+class TestKMeans:
+    def test_enforced_size_threshold(self, galaxy):
+        partitioning = KMeansPartitioner(size_threshold=80, seed=1).partition(galaxy, ATTRIBUTES)
+        assert partitioning.satisfies_size_threshold(80)
+
+    def test_unenforced_may_violate_threshold(self, galaxy):
+        partitioning = KMeansPartitioner(size_threshold=10, enforce_size=False, seed=1).partition(
+            galaxy, ATTRIBUTES
+        )
+        # Plain k-means offers no guarantee — this is exactly the drawback the
+        # paper cites; with such a tiny τ some cluster almost surely overflows.
+        assert partitioning.num_groups >= 1
+
+    def test_deterministic_given_seed(self, galaxy):
+        one = KMeansPartitioner(size_threshold=100, seed=7).partition(galaxy, ATTRIBUTES)
+        two = KMeansPartitioner(size_threshold=100, seed=7).partition(galaxy, ATTRIBUTES)
+        assert np.array_equal(one.group_ids, two.group_ids)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(PartitioningError):
+            KMeansPartitioner(size_threshold=0)
