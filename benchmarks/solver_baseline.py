@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Record a solver-performance baseline as ``BENCH_solver.json``.
+
+Runs the Galaxy DIRECT workload through the SIMPLEX-backend branch-and-bound
+twice — once with basis reuse (warm starts) and once forced cold — and records
+node throughput, LP iteration counts and the warm-start hit rate.  The JSON
+is committed in-repo so future performance PRs have a trajectory to compare
+against, and CI re-generates it as a build artifact on every push.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/solver_baseline.py [--rows 800] [--out BENCH_solver.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+from repro.core.translator import translate_query
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
+from repro.ilp.lp_backend import LpBackend
+from repro.workloads.galaxy import galaxy_table, galaxy_workload
+
+#: Queries solved per configuration; Q1 branches (fractional LP relaxations),
+#: Q5 solves at the root, giving both tree shapes a voice in the baseline.
+_QUERIES = ("Q1", "Q5")
+
+
+def _run_configuration(table, workload, warm_start_lp: bool) -> dict:
+    totals = {
+        "nodes_explored": 0,
+        "lp_solves": 0,
+        "simplex_iterations": 0,
+        "warm_start_hits": 0,
+    }
+    per_query = {}
+    started = time.perf_counter()
+    for name in _QUERIES:
+        query = workload.query(name).query
+        translation = translate_query(table, query)
+        solver = BranchAndBoundSolver(
+            limits=SolverLimits(relative_gap=1e-3, node_limit=2000),
+            lp_backend=LpBackend.SIMPLEX,
+            warm_start_lp=warm_start_lp,
+        )
+        solution = solver.solve(translation.model)
+        stats = solution.stats
+        per_query[name] = {
+            "status": solution.status.value,
+            "objective": None if solution.objective_value != solution.objective_value
+            else solution.objective_value,
+            "nodes_explored": stats.nodes_explored,
+            "lp_solves": stats.lp_solves,
+            "simplex_iterations": stats.simplex_iterations,
+            "warm_start_hits": stats.warm_start_hits,
+        }
+        for key in totals:
+            totals[key] += getattr(stats, key)
+    elapsed = time.perf_counter() - started
+    return {
+        "wall_seconds": round(elapsed, 4),
+        "nodes_per_second": round(totals["nodes_explored"] / elapsed, 1),
+        "warm_start_hit_rate": round(
+            totals["warm_start_hits"] / max(1, totals["lp_solves"]), 4
+        ),
+        **totals,
+        "per_query": per_query,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=800, help="Galaxy table size")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_solver.json", help="output path")
+    args = parser.parse_args()
+
+    table = galaxy_table(args.rows, seed=args.seed)
+    workload = galaxy_workload(table, seed=args.seed)
+
+    warm = _run_configuration(table, workload, warm_start_lp=True)
+    cold = _run_configuration(table, workload, warm_start_lp=False)
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+
+    report = {
+        "benchmark": "galaxy-direct-simplex-bnb",
+        "description": (
+            "SIMPLEX-backend branch-and-bound over the Galaxy DIRECT workload "
+            f"({args.rows} rows, queries {', '.join(_QUERIES)}); warm = basis "
+            "reuse across the tree, cold = every node solved from scratch."
+        ),
+        "commit": commit,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": args.rows,
+        "seed": args.seed,
+        "warm": warm,
+        "cold": cold,
+        "iteration_savings": round(
+            1.0 - warm["simplex_iterations"] / max(1, cold["simplex_iterations"]), 4
+        ),
+    }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(
+        f"warm: {warm['nodes_per_second']} nodes/s, hit rate "
+        f"{warm['warm_start_hit_rate']:.0%}, {warm['simplex_iterations']} pivots"
+    )
+    print(
+        f"cold: {cold['nodes_per_second']} nodes/s, {cold['simplex_iterations']} pivots"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,7 @@ from repro.core.direct import DirectEvaluator
 from repro.core.translator import translate_query
 from repro.db.expressions import col
 from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
-from repro.ilp.lp_backend import solve_lp
+from repro.ilp.lp_backend import LpBackend, WarmStart, solve_lp, solve_lp_dense
 from repro.paql.parser import parse_paql
 from repro.partition.quadtree import QuadTreePartitioner
 from repro.workloads.galaxy import galaxy_table, galaxy_workload
@@ -71,6 +71,64 @@ def test_ilp_solve_speed(benchmark, galaxy_fixture):
         evaluator.evaluate, args=(table, query), rounds=3, iterations=1
     )
     assert package.cardinality == 3
+
+
+@pytest.mark.benchmark(group="micro-lp-cold-vs-warm")
+def test_lp_cold_solve_speed_simplex(benchmark, galaxy_fixture):
+    """Cold revised-simplex solve of a branch-and-bound child LP."""
+    table, workload = galaxy_fixture
+    translation = translate_query(table, workload.query("Q1").query)
+    dense = translation.model.to_dense()
+    parent = solve_lp_dense(dense, LpBackend.SIMPLEX)
+    assert parent.status.has_solution
+    lower, upper = dense.bound_arrays()
+    branch = int(np.argmax(np.abs(parent.values - np.rint(parent.values))))
+    child_upper = upper.copy()
+    child_upper[branch] = np.floor(parent.values[branch])
+    child = dense.with_bounds(lower, child_upper)
+
+    result = benchmark(solve_lp_dense, child, LpBackend.SIMPLEX)
+    assert result.status.has_solution
+    assert not result.warm_start_used
+
+
+@pytest.mark.benchmark(group="micro-lp-cold-vs-warm")
+def test_lp_warm_reoptimisation_speed_simplex(benchmark, galaxy_fixture):
+    """The same child LP, reoptimised from the parent basis (dual simplex)."""
+    table, workload = galaxy_fixture
+    translation = translate_query(table, workload.query("Q1").query)
+    dense = translation.model.to_dense()
+    parent = solve_lp_dense(dense, LpBackend.SIMPLEX)
+    assert parent.status.has_solution
+    lower, upper = dense.bound_arrays()
+    branch = int(np.argmax(np.abs(parent.values - np.rint(parent.values))))
+    child_upper = upper.copy()
+    child_upper[branch] = np.floor(parent.values[branch])
+    child = dense.with_bounds(lower, child_upper)
+    warm = WarmStart(basis=parent.basis)
+
+    result = benchmark(solve_lp_dense, child, LpBackend.SIMPLEX, warm)
+    assert result.status.has_solution
+    assert result.warm_start_used
+
+
+@pytest.mark.benchmark(group="micro-ilp-simplex-warm")
+def test_ilp_simplex_backend_with_basis_reuse(benchmark, galaxy_fixture):
+    """Full SIMPLEX-backend branch and bound with warm-started node LPs."""
+    table, workload = galaxy_fixture
+    translation = translate_query(table, workload.query("Q1").query)
+
+    def solve():
+        solver = BranchAndBoundSolver(
+            limits=SolverLimits(relative_gap=1e-3, node_limit=2000),
+            lp_backend=LpBackend.SIMPLEX,
+        )
+        return solver.solve(translation.model)
+
+    solution = benchmark.pedantic(solve, rounds=3, iterations=1)
+    assert solution.has_solution
+    if solution.stats.lp_solves > 1:
+        assert solution.stats.warm_start_rate >= 0.7
 
 
 @pytest.mark.benchmark(group="micro-partition")

@@ -13,14 +13,75 @@ to run that package query:
 Run with::
 
     python examples/quickstart.py
+
+Pass ``--time`` to additionally print a per-phase wall-clock breakdown
+(parse, translate, solve) and the LP-solve / warm-start counters of the
+bundled solver, so the effect of basis reuse is visible without running the
+pytest benchmarks.
 """
+
+import argparse
+import time
 
 from repro import PackageQueryEngine
 from repro.core import DirectEvaluator, translate_query
 from repro.workloads.recipes import MEAL_PLANNER_PAQL, meal_planner_query, recipes_table
 
 
+def timing_report(num_rows: int = 150, seed: int = 7) -> None:
+    """Per-phase timings and LP-solve counters for the meal-planner query."""
+    from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
+    from repro.ilp.lp_backend import LpBackend
+    from repro.paql.parser import parse_paql
+
+    recipes = recipes_table(num_rows=num_rows, seed=seed)
+
+    t0 = time.perf_counter()
+    query = parse_paql(MEAL_PLANNER_PAQL)
+    t1 = time.perf_counter()
+    translation = translate_query(recipes, query)
+    t2 = time.perf_counter()
+
+    print("=== Timing breakdown (--time) ===")
+    print(f"parse PaQL            : {(t1 - t0) * 1000:8.2f} ms")
+    print(f"translate to ILP      : {(t2 - t1) * 1000:8.2f} ms "
+          f"({translation.num_variables} vars, {translation.model.num_constraints} constraints)")
+
+    for backend in (LpBackend.HIGHS, LpBackend.SIMPLEX):
+        solver = BranchAndBoundSolver(
+            limits=SolverLimits(relative_gap=1e-6), lp_backend=backend
+        )
+        t3 = time.perf_counter()
+        solution = solver.solve(translation.model)
+        t4 = time.perf_counter()
+        stats = solution.stats
+        line = (
+            f"solve ({backend.value:7s})       : {(t4 - t3) * 1000:8.2f} ms  "
+            f"status={solution.status.value}  nodes={stats.nodes_explored}  "
+            f"lp_solves={stats.lp_solves}"
+        )
+        if backend is LpBackend.SIMPLEX:
+            line += (
+                f"  simplex_iters={stats.simplex_iterations}"
+                f"  warm_start_hits={stats.warm_start_hits}"
+                f" ({stats.warm_start_rate:.0%})"
+            )
+        print(line)
+    print()
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--time",
+        action="store_true",
+        help="print per-phase wall-clock timings and LP-solve counts",
+    )
+    args = parser.parse_args()
+
+    if args.time:
+        timing_report()
+
     recipes = recipes_table(num_rows=150, seed=7)
 
     # ------------------------------------------------------------------ PaQL text

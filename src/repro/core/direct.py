@@ -29,7 +29,7 @@ from repro.errors import (
     SolverTimeoutError,
 )
 from repro.ilp.branch_and_bound import BranchAndBoundSolver
-from repro.ilp.status import Solution, SolverStatus
+from repro.ilp.status import Solution, SolveStats, SolverStatus
 from repro.paql.ast import PackageQuery
 
 
@@ -43,6 +43,8 @@ class DirectStats:
     num_variables: int = 0
     num_constraints: int = 0
     solver_status: SolverStatus | None = None
+    solve_stats: SolveStats | None = None
+    """The solver's own statistics (nodes, LP solves, warm-start hits, …)."""
 
 
 class DirectEvaluator:
@@ -79,6 +81,7 @@ class DirectEvaluator:
             num_variables=translation.num_variables,
             num_constraints=translation.model.num_constraints,
             solver_status=solution.status,
+            solve_stats=solution.stats,
         )
         return self._package_from_solution(translation, solution)
 

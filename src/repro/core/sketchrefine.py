@@ -84,6 +84,12 @@ class SketchRefineStats:
     backtracks: int = 0
     used_hybrid_sketch: bool = False
     sketch_objective: float = float("nan")
+    solver_lp_solves: int = 0
+    """LP relaxation solves summed over the sketch and every refine ILP."""
+    solver_simplex_iterations: int = 0
+    """Simplex pivots summed over all solves (SIMPLEX backend only)."""
+    solver_warm_start_hits: int = 0
+    """LP solves that reoptimised from a parent basis (SIMPLEX backend only)."""
 
 
 @dataclass
@@ -323,6 +329,7 @@ class SketchRefineEvaluator:
         model.set_objective(linearisation.objective_sense, objective)
 
         solution = self.solver.solve(model)
+        self._absorb_solver_stats(solution)
         if solution.status is SolverStatus.INFEASIBLE:
             return None
         if solution.status is SolverStatus.CAPACITY_EXCEEDED:
@@ -344,6 +351,15 @@ class SketchRefineEvaluator:
             else:
                 hybrid_assignment[key] = count
         return multiplicities, hybrid_assignment
+
+    def _absorb_solver_stats(self, solution) -> None:
+        """Fold one ILP solve's solver statistics into the running totals."""
+        stats = getattr(solution, "stats", None)
+        if stats is None:
+            return
+        self.last_stats.solver_lp_solves += stats.lp_solves
+        self.last_stats.solver_simplex_iterations += stats.simplex_iterations
+        self.last_stats.solver_warm_start_hits += stats.warm_start_hits
 
     @staticmethod
     def _sketch_objective(
@@ -506,6 +522,7 @@ class SketchRefineEvaluator:
         model.set_objective(linearisation.objective_sense, objective)
 
         solution = self.solver.solve(model)
+        self._absorb_solver_stats(solution)
         if solution.status is SolverStatus.INFEASIBLE:
             return None
         if solution.status is SolverStatus.CAPACITY_EXCEEDED:

@@ -6,12 +6,13 @@ an equivalent black box implemented from scratch:
 * :class:`~repro.ilp.model.IlpModel` — a sparse-friendly model of variables,
   linear constraints, bounds and a linear objective,
 * :mod:`~repro.ilp.lp_backend` — LP relaxation solving through SciPy's HiGHS
-  backend, with a pure-NumPy dense simplex fallback,
+  backend, with a pure-NumPy bounded-variable revised simplex fallback that
+  supports warm-started (dual) reoptimisation from an exported basis,
 * :class:`~repro.ilp.branch_and_bound.BranchAndBoundSolver` — an exact ILP
   solver with configurable node selection, branching rules, rounding
-  heuristics, and capacity/time budgets (the capacity budget emulates CPLEX
-  running out of memory on huge problems, which the paper reports as DIRECT
-  failures),
+  heuristics, basis reuse across the search tree, and capacity/time budgets
+  (the capacity budget emulates CPLEX running out of memory on huge problems,
+  which the paper reports as DIRECT failures),
 * :class:`~repro.ilp.rounding.RelaxAndRoundSolver` — an LP-relaxation +
   rounding heuristic, used as an additional baseline and to demonstrate that
   the package evaluators treat the solver as a genuine black box,
@@ -22,7 +23,8 @@ an equivalent black box implemented from scratch:
 
 from repro.ilp.model import Constraint, ConstraintSense, IlpModel, Objective, ObjectiveSense, Variable
 from repro.ilp.status import SolveStats, SolverStatus, Solution
-from repro.ilp.lp_backend import LpBackend, solve_lp
+from repro.ilp.lp_backend import LpBackend, WarmStart, solve_lp
+from repro.ilp.simplex import SimplexBasis
 from repro.ilp.branch_and_bound import BranchAndBoundSolver, BranchingRule, NodeSelection, SolverLimits
 from repro.ilp.rounding import RelaxAndRoundSolver
 from repro.ilp.iis import find_iis
@@ -38,6 +40,8 @@ __all__ = [
     "SolverStatus",
     "SolveStats",
     "LpBackend",
+    "WarmStart",
+    "SimplexBasis",
     "solve_lp",
     "BranchAndBoundSolver",
     "SolverLimits",

@@ -15,6 +15,18 @@ depth-first option for memory-constrained runs.  A rounding heuristic tries
 to convert fractional relaxations into incumbents early, which greatly speeds
 up the package-query instances (0/1-style multiplicity variables).
 
+**Basis reuse.**  The model is densified exactly once per solve (and the
+model itself memoizes that export); every node shares the same objective and
+constraint matrices and differs only in its bounds vectors, materialised via
+:meth:`~repro.ilp.model.DenseForm.with_bounds` without copying.  With the
+SIMPLEX backend, each node also records the optimal basis of its LP
+relaxation and hands it to its children: a child differs from its parent by
+one tightened variable bound, so the child's LP is reoptimised with a few
+dual-simplex pivots from the parent basis instead of a cold two-phase solve.
+``SolveStats.warm_start_hits`` / ``simplex_iterations`` expose how often that
+fast path is taken.  The HiGHS backend solves every node cold (SciPy exposes
+no basis interface) but still benefits from the shared dense form.
+
 ``SolverLimits`` intentionally includes ``max_variables``: CPLEX loads the
 entire problem in memory and the paper's Figure 5 shows DIRECT failing on
 large Galaxy queries for exactly that reason.  Setting a variable cap lets the
@@ -31,8 +43,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.ilp.lp_backend import LpBackend, LpResult, solve_lp_dense
+from repro.ilp.lp_backend import LpBackend, LpResult, WarmStart, solve_lp_dense
 from repro.ilp.model import ConstraintSense, DenseForm, IlpModel, ObjectiveSense
+from repro.ilp.simplex import SimplexBasis
 from repro.ilp.status import Solution, SolveStats, SolverStatus
 
 _INTEGRALITY_TOLERANCE = 1e-6
@@ -86,6 +99,7 @@ class _Node:
     depth: int = field(compare=False)
     lower_bounds: np.ndarray = field(compare=False)
     upper_bounds: np.ndarray = field(compare=False)
+    parent_basis: SimplexBasis | None = field(compare=False, default=None)
 
 
 class BranchAndBoundSolver:
@@ -98,12 +112,16 @@ class BranchAndBoundSolver:
         node_selection: NodeSelection = NodeSelection.BEST_BOUND,
         lp_backend: LpBackend = LpBackend.HIGHS,
         enable_rounding_heuristic: bool = True,
+        warm_start_lp: bool = True,
     ):
         self.limits = limits or SolverLimits()
         self.branching = branching
         self.node_selection = node_selection
         self.lp_backend = lp_backend
         self.enable_rounding_heuristic = enable_rounding_heuristic
+        # Basis reuse across the tree (SIMPLEX backend only); the off switch
+        # exists so benchmarks can measure cold-vs-warm node throughput.
+        self.warm_start_lp = warm_start_lp
 
     # -- public API ----------------------------------------------------------------
 
@@ -158,6 +176,9 @@ class BranchAndBoundSolver:
 
             lp_result = self._solve_node_lp(dense, node)
             stats.lp_solves += 1
+            stats.simplex_iterations += lp_result.iterations
+            if lp_result.warm_start_used:
+                stats.warm_start_hits += 1
 
             if lp_result.status is SolverStatus.INFEASIBLE:
                 continue
@@ -207,12 +228,16 @@ class BranchAndBoundSolver:
                 pseudo_up, pseudo_down, pseudo_counts, branch_index, branch_value
             )
 
+            # Children inherit this node's optimal basis: they differ by one
+            # tightened bound, so their LPs dual-reoptimise from it.
+            child_basis = lp_result.basis if self.warm_start_lp else None
             down = _Node(
                 priority=self._node_priority(sense, bound, node.depth + 1),
                 sequence=next(counter),
                 depth=node.depth + 1,
                 lower_bounds=node.lower_bounds.copy(),
                 upper_bounds=node.upper_bounds.copy(),
+                parent_basis=child_basis,
             )
             down.upper_bounds[branch_index] = floor_value
 
@@ -222,6 +247,7 @@ class BranchAndBoundSolver:
                 depth=node.depth + 1,
                 lower_bounds=node.lower_bounds.copy(),
                 upper_bounds=node.upper_bounds.copy(),
+                parent_basis=child_basis,
             )
             up.lower_bounds[branch_index] = floor_value + 1.0
 
@@ -247,20 +273,15 @@ class BranchAndBoundSolver:
         return None
 
     def _solve_node_lp(self, dense: DenseForm, node: _Node) -> LpResult:
-        bounds = [
-            (float(low), None if np.isinf(up) else float(up))
-            for low, up in zip(node.lower_bounds, node.upper_bounds)
-        ]
-        node_dense = DenseForm(
-            c=dense.c,
-            a_ub=dense.a_ub,
-            b_ub=dense.b_ub,
-            a_eq=dense.a_eq,
-            b_eq=dense.b_eq,
-            bounds=bounds,
-            maximize=dense.maximize,
-        )
-        return solve_lp_dense(node_dense, self.lp_backend)
+        node_dense = dense.with_bounds(node.lower_bounds, node.upper_bounds)
+        warm = None
+        if (
+            self.warm_start_lp
+            and node.parent_basis is not None
+            and self.lp_backend is LpBackend.SIMPLEX
+        ):
+            warm = WarmStart(basis=node.parent_basis)
+        return solve_lp_dense(node_dense, self.lp_backend, warm_start=warm)
 
     @staticmethod
     def _fractional_indices(values: np.ndarray, integer_mask: np.ndarray) -> np.ndarray:

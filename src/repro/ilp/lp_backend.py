@@ -1,13 +1,28 @@
-"""LP relaxation backends.
+"""LP relaxation backends and the warm-start protocol.
 
-Branch and bound needs to repeatedly solve LP relaxations.  Two backends are
-provided:
+Branch and bound needs to repeatedly solve LP relaxations that differ only in
+variable bounds.  Two backends are provided:
 
 * ``HIGHS`` — :func:`scipy.optimize.linprog` with the HiGHS method (default,
   fast and robust), and
-* ``SIMPLEX`` — the pure-NumPy dense simplex in :mod:`repro.ilp.simplex`,
-  kept as an independent implementation both for environments without SciPy's
-  HiGHS and as a cross-check in the test-suite.
+* ``SIMPLEX`` — the pure-NumPy bounded-variable revised simplex in
+  :mod:`repro.ilp.simplex`, kept as an independent implementation both for
+  environments without SciPy's HiGHS and as a cross-check in the test-suite.
+
+Backend choice: HiGHS wins on large cold solves (compiled code, presolve);
+SIMPLEX wins on *sequences* of related small solves because it supports the
+basis-reuse protocol below, which SciPy's ``linprog`` interface does not
+expose.
+
+The warm-start protocol: an optimal SIMPLEX solve returns its final basis in
+:attr:`LpResult.basis`.  A caller about to solve a *related* problem (same
+constraint matrix, different bounds — e.g. a branch-and-bound child node)
+wraps that basis in a :class:`WarmStart` and passes it to
+:func:`solve_lp_dense`.  The simplex then reoptimises with dual pivots from
+the parent basis instead of solving from scratch; a stale or invalid basis is
+detected and silently falls back to a cold solve
+(:attr:`LpResult.warm_start_used` reports what actually happened).  The
+HIGHS backend ignores warm starts.
 """
 
 from __future__ import annotations
@@ -20,7 +35,12 @@ from scipy.optimize import linprog
 
 from repro.errors import SolverError
 from repro.ilp.model import DenseForm, IlpModel
-from repro.ilp.simplex import SimplexResult, SimplexStatus, solve_dense_simplex
+from repro.ilp.simplex import (
+    SimplexBasis,
+    SimplexResult,
+    SimplexStatus,
+    solve_dense_simplex,
+)
 from repro.ilp.status import Solution, SolveStats, SolverStatus
 
 
@@ -32,26 +52,66 @@ class LpBackend(enum.Enum):
 
 
 @dataclass
+class WarmStart:
+    """Solver state carried from one LP solve to a related one.
+
+    Currently holds the simplex basis; only the SIMPLEX backend consumes it.
+    """
+
+    basis: SimplexBasis | None = None
+
+
+@dataclass
 class LpResult:
-    """Result of one LP relaxation solve (always in the model's own sense)."""
+    """Result of one LP relaxation solve (always in the model's own sense).
+
+    Attributes:
+        status: Solve outcome.
+        values: Optimal assignment (empty when no solution).
+        objective_value: Objective in the model's sense (NaN when no solution).
+        basis: Final simplex basis on optimal SIMPLEX solves, reusable as a
+            :class:`WarmStart` for related problems; ``None`` for HiGHS.
+        iterations: Simplex iterations spent (0 for HiGHS).
+        warm_start_used: Whether a supplied warm start was actually consumed
+            rather than rejected (stale basis) or ignored (HiGHS).
+    """
 
     status: SolverStatus
     values: np.ndarray
     objective_value: float
+    basis: SimplexBasis | None = None
+    iterations: int = 0
+    warm_start_used: bool = False
 
 
-def solve_lp_dense(dense: DenseForm, backend: LpBackend = LpBackend.HIGHS) -> LpResult:
+def solve_lp_dense(
+    dense: DenseForm,
+    backend: LpBackend = LpBackend.HIGHS,
+    warm_start: WarmStart | None = None,
+) -> LpResult:
     """Solve the LP relaxation of a dense-form model."""
     if backend is LpBackend.HIGHS:
         return _solve_highs(dense)
-    return _solve_simplex(dense)
+    return _solve_simplex(dense, warm_start)
 
 
-def solve_lp(model: IlpModel, backend: LpBackend = LpBackend.HIGHS) -> Solution:
-    """Solve the LP relaxation of ``model`` and wrap the result as a Solution."""
+def solve_lp(
+    model: IlpModel,
+    backend: LpBackend = LpBackend.HIGHS,
+    warm_start: WarmStart | None = None,
+) -> Solution:
+    """Solve the LP relaxation of ``model`` and wrap the result as a Solution.
+
+    Uses the model's memoized dense form, so repeated relaxation solves of the
+    same model do not re-densify it.
+    """
     dense = model.to_dense()
-    result = solve_lp_dense(dense, backend)
-    stats = SolveStats(lp_solves=1)
+    result = solve_lp_dense(dense, backend, warm_start)
+    stats = SolveStats(
+        lp_solves=1,
+        simplex_iterations=result.iterations,
+        warm_start_hits=1 if result.warm_start_used else 0,
+    )
     if not result.status.has_solution:
         return Solution(result.status, stats=stats)
     return Solution(
@@ -63,14 +123,14 @@ def solve_lp(model: IlpModel, backend: LpBackend = LpBackend.HIGHS) -> Solution:
 
 
 def _solve_highs(dense: DenseForm) -> LpResult:
-    bounds = [(low, up) for low, up in dense.bounds]
+    lower, upper = dense.bound_arrays()
     result = linprog(
         c=dense.c,
         A_ub=dense.a_ub if dense.a_ub.size else None,
         b_ub=dense.b_ub if dense.b_ub.size else None,
         A_eq=dense.a_eq if dense.a_eq.size else None,
         b_eq=dense.b_eq if dense.b_eq.size else None,
-        bounds=bounds,
+        bounds=list(zip(lower, upper)),
         method="highs",
     )
     if result.status == 0:
@@ -82,7 +142,8 @@ def _solve_highs(dense: DenseForm) -> LpResult:
     raise SolverError(f"HiGHS LP solve failed: {result.message}")
 
 
-def _solve_simplex(dense: DenseForm) -> LpResult:
+def _solve_simplex(dense: DenseForm, warm_start: WarmStart | None = None) -> LpResult:
+    basis = warm_start.basis if warm_start is not None else None
     simplex_result: SimplexResult = solve_dense_simplex(
         c=dense.c,
         a_ub=dense.a_ub,
@@ -90,15 +151,31 @@ def _solve_simplex(dense: DenseForm) -> LpResult:
         a_eq=dense.a_eq,
         b_eq=dense.b_eq,
         bounds=dense.bounds,
+        warm_start=basis,
     )
     if simplex_result.status is SimplexStatus.OPTIMAL:
         return LpResult(
             SolverStatus.OPTIMAL,
             simplex_result.x,
             dense.objective_from_min(simplex_result.objective),
+            basis=simplex_result.basis,
+            iterations=simplex_result.iterations,
+            warm_start_used=simplex_result.warm_started,
         )
     if simplex_result.status is SimplexStatus.INFEASIBLE:
-        return LpResult(SolverStatus.INFEASIBLE, np.empty(0), float("nan"))
+        return LpResult(
+            SolverStatus.INFEASIBLE,
+            np.empty(0),
+            float("nan"),
+            iterations=simplex_result.iterations,
+            warm_start_used=simplex_result.warm_started,
+        )
     if simplex_result.status is SimplexStatus.UNBOUNDED:
-        return LpResult(SolverStatus.UNBOUNDED, np.empty(0), float("nan"))
+        return LpResult(
+            SolverStatus.UNBOUNDED,
+            np.empty(0),
+            float("nan"),
+            iterations=simplex_result.iterations,
+            warm_start_used=simplex_result.warm_started,
+        )
     raise SolverError("simplex LP solve did not converge")

@@ -131,6 +131,7 @@ class IlpModel:
         self.constraints: list[Constraint] = []
         self.objective = Objective(ObjectiveSense.MINIMIZE, {})
         self._names: set[str] = set()
+        self._dense_cache: "DenseForm | None" = None
 
     # -- construction -----------------------------------------------------------
 
@@ -147,6 +148,7 @@ class IlpModel:
         variable = Variable(name, lower, upper, is_integer, index=len(self.variables))
         self.variables.append(variable)
         self._names.add(name)
+        self._dense_cache = None
         return variable
 
     def add_constraint(
@@ -165,6 +167,7 @@ class IlpModel:
             name or f"c{len(self.constraints)}", cleaned, sense, float(rhs)
         )
         self.constraints.append(constraint)
+        self._dense_cache = None
         return constraint
 
     def set_objective(self, sense: ObjectiveSense, coefficients: Mapping[int, float]) -> None:
@@ -174,6 +177,7 @@ class IlpModel:
             if not 0 <= idx < len(self.variables):
                 raise SolverError(f"objective references unknown variable index {idx}")
         self.objective = Objective(sense, cleaned)
+        self._dense_cache = None
 
     # -- introspection -----------------------------------------------------------
 
@@ -221,7 +225,25 @@ class IlpModel:
     # -- export -------------------------------------------------------------------
 
     def to_dense(self) -> "DenseForm":
-        """Export to dense ``A_ub x <= b_ub``, ``A_eq x = b_eq`` matrices."""
+        """Export to dense ``A_ub x <= b_ub``, ``A_eq x = b_eq`` matrices.
+
+        The export is memoized: repeated calls return the same
+        :class:`DenseForm` instance until the model is mutated through
+        :meth:`add_variable`, :meth:`add_constraint` or :meth:`set_objective`.
+        Callers must treat the returned arrays as read-only (branch-and-bound
+        shares them across every node, varying only the bounds).  Code that
+        mutates a :class:`Variable` or :class:`Constraint` in place must call
+        :meth:`invalidate_dense_cache` afterwards.
+        """
+        if self._dense_cache is None:
+            self._dense_cache = self._build_dense()
+        return self._dense_cache
+
+    def invalidate_dense_cache(self) -> None:
+        """Drop the memoized dense export (needed after in-place mutation)."""
+        self._dense_cache = None
+
+    def _build_dense(self) -> "DenseForm":
         n = self.num_variables
         ub_rows: list[np.ndarray] = []
         ub_rhs: list[float] = []
@@ -281,16 +303,56 @@ class IlpModel:
 
 @dataclass
 class DenseForm:
-    """Dense matrix export of an :class:`IlpModel` (always a minimisation)."""
+    """Dense matrix export of an :class:`IlpModel` (always a minimisation).
+
+    ``bounds`` is either the list-of-pairs form produced by
+    :meth:`IlpModel.to_dense` (``None`` meaning unbounded) or a
+    ``(lower_array, upper_array)`` pair using ``±inf`` — the latter is what
+    branch-and-bound uses to derive per-node forms without copying the
+    matrices (see :meth:`with_bounds`).
+    """
 
     c: np.ndarray
     a_ub: np.ndarray
     b_ub: np.ndarray
     a_eq: np.ndarray
     b_eq: np.ndarray
-    bounds: list[tuple[float, float | None]]
+    bounds: "list[tuple[float, float | None]] | tuple[np.ndarray, np.ndarray]"
     maximize: bool
 
     def objective_from_min(self, min_value: float) -> float:
         """Convert the minimised objective value back to the model's sense."""
         return -min_value if self.maximize else min_value
+
+    def bound_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Bounds as ``(lower, upper)`` float arrays using ``±inf``.
+
+        Always returns fresh arrays: the tuple form aliases bounds that may be
+        shared across branch-and-bound nodes, so handing out the live arrays
+        would let a caller silently corrupt sibling nodes.
+        """
+        if isinstance(self.bounds, tuple):
+            return self.bounds[0].copy(), self.bounds[1].copy()
+        n = len(self.c)
+        lower = np.empty(n)
+        upper = np.empty(n)
+        for j, (low, up) in enumerate(self.bounds):
+            lower[j] = -np.inf if low is None else low
+            upper[j] = np.inf if up is None else up
+        return lower, upper
+
+    def with_bounds(self, lower: np.ndarray, upper: np.ndarray) -> "DenseForm":
+        """A view of this form with different variable bounds.
+
+        The objective and constraint arrays are shared, not copied — this is
+        the cheap path branch-and-bound uses to materialise a child node.
+        """
+        return DenseForm(
+            c=self.c,
+            a_ub=self.a_ub,
+            b_ub=self.b_ub,
+            a_eq=self.a_eq,
+            b_eq=self.b_eq,
+            bounds=(lower, upper),
+            maximize=self.maximize,
+        )

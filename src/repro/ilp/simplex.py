@@ -1,19 +1,36 @@
-"""A dense two-phase primal simplex solver.
+"""A bounded-variable revised simplex solver with warm-start support.
 
 This is a self-contained LP solver used as a fallback / cross-check for the
-HiGHS backend.  It handles:
+HiGHS backend.  Unlike the dense tableau method it replaced, it is built for
+the workload SKETCHREFINE and branch-and-bound actually generate: *many small
+LPs that differ from each other by a single variable bound*.
 
-* minimisation of ``c @ x``,
-* inequality constraints ``A_ub x <= b_ub`` and equalities ``A_eq x = b_eq``,
-* finite lower bounds and optional upper bounds per variable.
+Three design points make repeated solves cheap:
 
-Bounds are normalised away (shift to zero lower bound, upper bounds become
-rows), then the problem is put in standard equality form with slack variables
-and solved with the classic two-phase method using Bland's anti-cycling rule.
+* **Native bound handling.**  Per-variable lower/upper bounds are represented
+  as nonbasic-at-bound statuses (``AT_LOWER`` / ``AT_UPPER``), not as extra
+  constraint rows.  A 0/1-multiplicity package query with ``m`` global
+  constraints works with an ``m × m`` basis instead of an ``(m + n) × (m + n)``
+  tableau.
+* **Basis export.**  Every optimal solve returns a :class:`SimplexBasis`
+  (basic column set + per-column statuses) in :class:`SimplexResult`, which a
+  later solve of a *related* problem can consume as a warm start.
+* **Dual-simplex reoptimisation.**  Warm starts re-enter through the dual
+  simplex: a branch-and-bound child differs from its parent by one tightened
+  bound, so the parent's optimal basis stays dual feasible and typically only
+  a handful of dual pivots restore primal feasibility.  Invalid or stale bases
+  are detected (shape mismatch, singular basis matrix, unrestorable dual
+  feasibility) and fall back to a cold two-phase solve.
 
-It is intentionally simple — dense tableau, O(m·n) pivots — because the
-sub-problems SKETCHREFINE sends to it are small.  Large problems should use
-the HiGHS backend.
+The cold path is the classic two-phase method in revised form: phase 1
+minimises signed artificial infeasibilities, phase 2 the true objective.
+Dantzig pricing is used by default; after a long run of degenerate pivots the
+solver switches to Bland's rule to guarantee termination.  The basis inverse
+is maintained with product-form (eta) updates and refactorised periodically.
+
+The solver handles minimisation of ``c @ x`` subject to ``A_ub x <= b_ub``,
+``A_eq x = b_eq`` and per-variable bounds (``None``/``inf`` meaning
+unbounded).  Large problems should still use the HiGHS backend.
 """
 
 from __future__ import annotations
@@ -24,7 +41,19 @@ from dataclasses import dataclass
 import numpy as np
 
 _EPSILON = 1e-9
+_PIVOT_EPSILON = 1e-10
+_FEASIBILITY_TOLERANCE = 1e-7
+_RATIO_TIE_TOLERANCE = 1e-10
+_REFACTOR_INTERVAL = 60
 _MAX_ITERATIONS_FACTOR = 50
+_DEGENERATE_STREAK_LIMIT = 50
+
+# Per-column statuses.  BASIC columns are listed in ``SimplexBasis.basic``;
+# nonbasic columns sit at one of their (finite) bounds, or at zero when FREE.
+BASIC = 0
+AT_LOWER = 1
+AT_UPPER = 2
+FREE = 3
 
 
 class SimplexStatus(enum.Enum):
@@ -35,12 +64,52 @@ class SimplexStatus(enum.Enum):
 
 
 @dataclass
+class SimplexBasis:
+    """A reusable snapshot of the simplex state at optimality.
+
+    The column space is the solver's internal one: ``num_structural``
+    structural columns, then ``num_ub`` slacks (one per ``<=`` row), then
+    ``num_ub + num_eq`` artificials (fixed at zero outside phase 1).  A basis
+    is only meaningful for a problem with the same constraint matrix shape;
+    :meth:`matches` performs that cheap signature check and consumers fall
+    back to a cold solve when it fails.
+    """
+
+    basic: np.ndarray
+    status: np.ndarray
+    num_structural: int
+    num_ub: int
+    num_eq: int
+
+    def matches(self, num_structural: int, num_ub: int, num_eq: int) -> bool:
+        """Whether this basis was exported from a problem of the given shape."""
+        return (
+            self.num_structural == num_structural
+            and self.num_ub == num_ub
+            and self.num_eq == num_eq
+        )
+
+
+@dataclass
 class SimplexResult:
-    """Outcome of a dense simplex solve (objective in minimisation sense)."""
+    """Outcome of a simplex solve (objective in minimisation sense).
+
+    Attributes:
+        status: Solve outcome.
+        x: Structural variable values (empty when no solution).
+        objective: ``c @ x`` (NaN when no solution).
+        basis: Final basis, exported on OPTIMAL solves for warm-start reuse.
+        iterations: Total simplex pivots/flips performed (all phases).
+        warm_started: Whether the supplied warm-start basis was actually used
+            (False when it was rejected and the solver fell back to cold).
+    """
 
     status: SimplexStatus
     x: np.ndarray
     objective: float
+    basis: SimplexBasis | None = None
+    iterations: int = 0
+    warm_started: bool = False
 
 
 def solve_dense_simplex(
@@ -49,177 +118,519 @@ def solve_dense_simplex(
     b_ub: np.ndarray,
     a_eq: np.ndarray,
     b_eq: np.ndarray,
-    bounds: list[tuple[float, float | None]],
+    bounds,
+    warm_start: SimplexBasis | None = None,
 ) -> SimplexResult:
-    """Minimise ``c @ x`` subject to the given constraints and bounds."""
-    c = np.asarray(c, dtype=np.float64)
-    n = len(c)
-    a_ub = np.asarray(a_ub, dtype=np.float64).reshape(-1, n) if np.size(a_ub) else np.empty((0, n))
-    b_ub = np.asarray(b_ub, dtype=np.float64).reshape(-1)
-    a_eq = np.asarray(a_eq, dtype=np.float64).reshape(-1, n) if np.size(a_eq) else np.empty((0, n))
-    b_eq = np.asarray(b_eq, dtype=np.float64).reshape(-1)
+    """Minimise ``c @ x`` subject to the given constraints and bounds.
 
-    # Shift variables so every lower bound becomes zero: x = y + lower.
-    lowers = np.array([low for low, _ in bounds], dtype=np.float64)
-    uppers = [up for _, up in bounds]
-    shifted_b_ub = b_ub - a_ub @ lowers if len(b_ub) else b_ub
-    shifted_b_eq = b_eq - a_eq @ lowers if len(b_eq) else b_eq
-    constant_term = float(c @ lowers)
-
-    # Upper bounds become additional <= rows on the shifted variables.
-    extra_rows = []
-    extra_rhs = []
-    for j, upper in enumerate(uppers):
-        if upper is None:
-            continue
-        row = np.zeros(n)
-        row[j] = 1.0
-        extra_rows.append(row)
-        extra_rhs.append(upper - lowers[j])
-    if extra_rows:
-        a_ub_full = np.vstack([a_ub, np.array(extra_rows)]) if a_ub.size else np.array(extra_rows)
-        b_ub_full = np.concatenate([shifted_b_ub, np.array(extra_rhs)])
-    else:
-        a_ub_full = a_ub
-        b_ub_full = shifted_b_ub
-
-    y, status, objective = _two_phase(c, a_ub_full, b_ub_full, a_eq, shifted_b_eq)
-    if status is not SimplexStatus.OPTIMAL:
-        return SimplexResult(status, np.empty(0), float("nan"))
-    x = y + lowers
-    return SimplexResult(SimplexStatus.OPTIMAL, x, objective + constant_term)
-
-
-def _two_phase(
-    c: np.ndarray,
-    a_ub: np.ndarray,
-    b_ub: np.ndarray,
-    a_eq: np.ndarray,
-    b_eq: np.ndarray,
-) -> tuple[np.ndarray, SimplexStatus, float]:
-    """Two-phase simplex on ``min c@y`` with y >= 0."""
-    n = len(c)
-    num_ub = a_ub.shape[0]
-    num_eq = a_eq.shape[0]
-    m = num_ub + num_eq
-
-    # Standard form: A y' = b with slacks on the <= rows, b >= 0.
-    a = np.zeros((m, n + num_ub))
-    b = np.zeros(m)
-    if num_ub:
-        a[:num_ub, :n] = a_ub
-        a[:num_ub, n : n + num_ub] = np.eye(num_ub)
-        b[:num_ub] = b_ub
-    if num_eq:
-        a[num_ub:, :n] = a_eq
-        b[num_ub:] = b_eq
-
-    # Make rhs non-negative.
-    for i in range(m):
-        if b[i] < 0:
-            a[i, :] *= -1
-            b[i] *= -1
-
-    total_vars = n + num_ub
-
-    # Phase 1: add artificial variables and minimise their sum.
-    a_phase1 = np.hstack([a, np.eye(m)])
-    c_phase1 = np.concatenate([np.zeros(total_vars), np.ones(m)])
-    basis = list(range(total_vars, total_vars + m))
-    tableau, basis, status = _simplex_core(a_phase1, b, c_phase1, basis)
-    if status is not SimplexStatus.OPTIMAL:
-        return np.empty(0), status, float("nan")
-    phase1_objective = tableau[-1, -1]
-    if phase1_objective > 1e-7:
-        return np.empty(0), SimplexStatus.INFEASIBLE, float("nan")
-
-    # Drive artificial variables out of the basis where possible.
-    a_current = tableau[:-1, : total_vars + m]
-    b_current = tableau[:-1, -1]
-    for row, var in enumerate(basis):
-        if var < total_vars:
-            continue
-        pivot_col = next(
-            (j for j in range(total_vars) if abs(a_current[row, j]) > _EPSILON), None
-        )
-        if pivot_col is None:
-            continue
-        _pivot(tableau, row, pivot_col)
-        basis[row] = pivot_col
-
-    # Phase 2: original objective on the (artificial-free) columns.
-    a2 = tableau[:-1, :total_vars]
-    b2 = tableau[:-1, -1]
-    c2 = np.concatenate([c, np.zeros(num_ub)])
-    # Rows whose basic variable is still artificial correspond to redundant
-    # constraints; they are kept with their (zero-valued) artificial basic
-    # variable treated as a zero column in phase 2.
-    keep_rows = [i for i, var in enumerate(basis) if var < total_vars]
-    if len(keep_rows) < len(basis):
-        a2 = a2[keep_rows]
-        b2 = b2[keep_rows]
-        basis = [basis[i] for i in keep_rows]
-
-    tableau2, basis, status = _simplex_core(a2, b2, c2, basis)
-    if status is not SimplexStatus.OPTIMAL:
-        return np.empty(0), status, float("nan")
-
-    solution = np.zeros(total_vars)
-    for row, var in enumerate(basis):
-        if var < total_vars:
-            solution[var] = tableau2[row, -1]
-    objective = float(c2 @ solution)
-    return solution[:n], SimplexStatus.OPTIMAL, objective
-
-
-def _simplex_core(
-    a: np.ndarray, b: np.ndarray, c: np.ndarray, basis: list[int]
-) -> tuple[np.ndarray, list[int], SimplexStatus]:
-    """Run primal simplex from a given basic feasible solution.
-
-    Returns the final tableau (with the objective row last), the final basis,
-    and the status.
+    ``bounds`` is either a list of ``(lower, upper)`` pairs (``None`` meaning
+    unbounded) or a ``(lower_array, upper_array)`` pair using ``±inf``.
+    ``warm_start`` optionally reuses a basis from a related earlier solve.
     """
-    m, n = a.shape
-    tableau = np.zeros((m + 1, n + 1))
-    tableau[:m, :n] = a
-    tableau[:m, -1] = b
-    tableau[-1, :n] = c
-
-    # Price out the initial basis so reduced costs are consistent.
-    for row, var in enumerate(basis):
-        if abs(tableau[-1, var]) > _EPSILON:
-            tableau[-1, :] -= tableau[-1, var] * tableau[row, :] / tableau[row, var]
-
-    max_iterations = _MAX_ITERATIONS_FACTOR * (m + n + 1)
-    for _ in range(max_iterations):
-        reduced_costs = tableau[-1, :n]
-        entering = next((j for j in range(n) if reduced_costs[j] < -_EPSILON), None)
-        if entering is None:
-            # Optimal: flip objective row sign convention (we track -z in the corner).
-            tableau[-1, -1] = -tableau[-1, -1]
-            return tableau, basis, SimplexStatus.OPTIMAL
-
-        ratios = []
-        for i in range(m):
-            coef = tableau[i, entering]
-            if coef > _EPSILON:
-                ratios.append((tableau[i, -1] / coef, basis[i], i))
-        if not ratios:
-            return tableau, basis, SimplexStatus.UNBOUNDED
-        # Bland's rule: smallest ratio, ties broken by smallest basic-variable index.
-        ratios.sort(key=lambda item: (item[0], item[1]))
-        leaving_row = ratios[0][2]
-
-        _pivot(tableau, leaving_row, entering)
-        basis[leaving_row] = entering
-
-    return tableau, basis, SimplexStatus.ITERATION_LIMIT
+    solver = _BoundedRevisedSimplex(c, a_ub, b_ub, a_eq, b_eq, bounds)
+    return solver.solve(warm_start)
 
 
-def _pivot(tableau: np.ndarray, row: int, column: int) -> None:
-    """Perform a Gauss-Jordan pivot on (row, column) in place."""
-    tableau[row, :] /= tableau[row, column]
-    for i in range(tableau.shape[0]):
-        if i != row and abs(tableau[i, column]) > _EPSILON:
-            tableau[i, :] -= tableau[i, column] * tableau[row, :]
+def _normalise_bounds(bounds, n: int) -> tuple[np.ndarray, np.ndarray]:
+    if (
+        isinstance(bounds, tuple)
+        and len(bounds) == 2
+        and isinstance(bounds[0], np.ndarray)
+    ):
+        lower = np.asarray(bounds[0], dtype=np.float64).copy()
+        upper = np.asarray(bounds[1], dtype=np.float64).copy()
+        return lower, upper
+    lower = np.empty(n)
+    upper = np.empty(n)
+    for j, (low, up) in enumerate(bounds):
+        lower[j] = -np.inf if low is None else float(low)
+        upper[j] = np.inf if up is None else float(up)
+    return lower, upper
+
+
+class _BoundedRevisedSimplex:
+    """One solve of ``min c@x, A_ub x <= b_ub, A_eq x = b_eq, l <= x <= u``.
+
+    Internal standard form: ``A_work y = b`` over ``n`` structural columns,
+    ``mu`` slack columns (bounds ``[0, inf)``) and ``m = mu + me`` artificial
+    identity columns (bounds ``[0, 0]`` except while phase 1 relaxes them).
+    """
+
+    def __init__(self, c, a_ub, b_ub, a_eq, b_eq, bounds):
+        c = np.asarray(c, dtype=np.float64)
+        n = len(c)
+        a_ub = (
+            np.asarray(a_ub, dtype=np.float64).reshape(-1, n)
+            if np.size(a_ub)
+            else np.empty((0, n))
+        )
+        b_ub = np.asarray(b_ub, dtype=np.float64).reshape(-1)
+        a_eq = (
+            np.asarray(a_eq, dtype=np.float64).reshape(-1, n)
+            if np.size(a_eq)
+            else np.empty((0, n))
+        )
+        b_eq = np.asarray(b_eq, dtype=np.float64).reshape(-1)
+
+        mu, me = a_ub.shape[0], a_eq.shape[0]
+        m = mu + me
+        ncols = n + mu + m
+        work = np.zeros((m, ncols))
+        if mu:
+            work[:mu, :n] = a_ub
+            work[:mu, n : n + mu] = np.eye(mu)
+        if me:
+            work[mu:, :n] = a_eq
+        if m:
+            work[:, n + mu :] = np.eye(m)
+
+        self.n, self.mu, self.me, self.m, self.ncols = n, mu, me, m, ncols
+        self.art0 = n + mu
+        self.a = work
+        self.b = np.concatenate([b_ub, b_eq])
+        self.costs = np.zeros(ncols)
+        self.costs[:n] = c
+
+        lower = np.zeros(ncols)
+        upper = np.full(ncols, np.inf)
+        lower[:n], upper[:n] = _normalise_bounds(bounds, n)
+        lower[self.art0 :] = 0.0
+        upper[self.art0 :] = 0.0
+        # Collapse bound pairs that crossed within tolerance (branch-and-bound
+        # children can produce l == u up to rounding); a genuine crossing is
+        # detected as infeasible in solve().
+        crossed = (lower > upper) & (lower <= upper + _EPSILON)
+        upper[crossed] = lower[crossed]
+        self.lower, self.upper = lower, upper
+
+        self.basis = np.empty(0, dtype=np.int64)
+        self.status = np.full(ncols, AT_LOWER, dtype=np.int8)
+        self.b_inv = np.eye(m)
+        self.xb = np.zeros(m)
+        self.iterations = 0
+        self._bland = False
+        self._degenerate_streak = 0
+        self._pivots_since_refactor = 0
+        self._numerical_failure = False
+
+    # -- public entry ------------------------------------------------------------
+
+    def solve(self, warm_start: SimplexBasis | None = None) -> SimplexResult:
+        if np.any(self.lower > self.upper):
+            return self._result(SimplexStatus.INFEASIBLE)
+        if warm_start is not None and self._try_install(warm_start):
+            status = self._reoptimize()
+            if status is not SimplexStatus.ITERATION_LIMIT:
+                return self._result(status, warm_started=True)
+            # Numerical trouble on the warm path: restart cold.
+            self._bland = False
+            self._degenerate_streak = 0
+            self._numerical_failure = False
+            self._pivots_since_refactor = 0
+        return self._cold_solve()
+
+    # -- cold path ----------------------------------------------------------------
+
+    def _cold_solve(self) -> SimplexResult:
+        self._cold_start()
+        if np.any(np.abs(self.xb) > _FEASIBILITY_TOLERANCE):
+            phase1 = self._phase1()
+            if phase1 is not SimplexStatus.OPTIMAL:
+                return self._result(phase1)
+        return self._result(self._primal(self.costs))
+
+    def _cold_start(self) -> None:
+        """All-artificial basis; real columns nonbasic at their nearest bound."""
+        status = np.full(self.ncols, AT_LOWER, dtype=np.int8)
+        for j in range(self.art0):
+            if np.isfinite(self.lower[j]):
+                status[j] = AT_LOWER
+            elif np.isfinite(self.upper[j]):
+                status[j] = AT_UPPER
+            else:
+                status[j] = FREE
+        self.basis = np.arange(self.art0, self.ncols, dtype=np.int64)
+        status[self.basis] = BASIC
+        self.status = status
+        self.lower[self.art0 :] = 0.0
+        self.upper[self.art0 :] = 0.0
+        self.b_inv = np.eye(self.m)
+        x = self._nonbasic_values()
+        self.xb = self.b - self.a[:, : self.art0] @ x[: self.art0]
+
+    def _phase1(self) -> SimplexStatus:
+        """Minimise signed artificial infeasibility from the all-artificial basis."""
+        art = slice(self.art0, self.ncols)
+        sign = np.where(self.xb >= 0.0, 1.0, -1.0)
+        # Each artificial may only move on its residual's side of zero, so the
+        # signed cost below is |a_i| there and phase 1 minimises total
+        # infeasibility (bounded below by 0 — never unbounded).
+        self.lower[art] = np.where(sign > 0, 0.0, -np.inf)
+        self.upper[art] = np.where(sign > 0, np.inf, 0.0)
+        phase1_costs = np.zeros(self.ncols)
+        phase1_costs[art] = sign
+
+        status = self._primal(phase1_costs)
+        infeasibility = float(phase1_costs @ self._full_solution())
+
+        self.lower[art] = 0.0
+        self.upper[art] = 0.0
+        nonbasic_art = (self.status[art] != BASIC).nonzero()[0] + self.art0
+        self.status[nonbasic_art] = AT_LOWER
+
+        if status is SimplexStatus.ITERATION_LIMIT:
+            return status
+        scale = max(1.0, float(np.abs(self.b).sum()))
+        if infeasibility > _FEASIBILITY_TOLERANCE * scale:
+            return SimplexStatus.INFEASIBLE
+        self._compute_xb()
+        return SimplexStatus.OPTIMAL
+
+    # -- warm path -----------------------------------------------------------------
+
+    def _try_install(self, warm: SimplexBasis) -> bool:
+        """Validate and install a warm-start basis; False → caller goes cold."""
+        if not isinstance(warm, SimplexBasis) or not warm.matches(self.n, self.mu, self.me):
+            return False
+        basic = np.asarray(warm.basic, dtype=np.int64)
+        status = np.asarray(warm.status, dtype=np.int8).copy()
+        if basic.shape != (self.m,) or status.shape != (self.ncols,):
+            return False
+        if self.m and (basic.min() < 0 or basic.max() >= self.ncols):
+            return False
+        if len(np.unique(basic)) != self.m:
+            return False
+        if np.count_nonzero(status == BASIC) != self.m or not np.all(status[basic] == BASIC):
+            return False
+
+        self.basis = basic.copy()
+        self.status = status
+        if not self._refactorize():
+            return False
+        if self.m and not np.allclose(
+            self.b_inv @ self.a[:, self.basis], np.eye(self.m), atol=1e-6
+        ):
+            return False
+
+        # Re-anchor nonbasic columns whose recorded bound is infinite under the
+        # current bounds (the caller may have relaxed a bound since export).
+        for j in range(self.ncols):
+            s = self.status[j]
+            if s == BASIC:
+                continue
+            if s == AT_LOWER and not np.isfinite(self.lower[j]):
+                self.status[j] = AT_UPPER if np.isfinite(self.upper[j]) else FREE
+            elif s == AT_UPPER and not np.isfinite(self.upper[j]):
+                self.status[j] = AT_LOWER if np.isfinite(self.lower[j]) else FREE
+            elif s == FREE and (np.isfinite(self.lower[j]) or np.isfinite(self.upper[j])):
+                self.status[j] = AT_LOWER if np.isfinite(self.lower[j]) else AT_UPPER
+
+        # Restore dual feasibility with bound flips where a reduced cost has
+        # the wrong sign; an unflippable column (infinite opposite bound) means
+        # the basis cannot seed the dual simplex — reject it.
+        y = self.costs[self.basis] @ self.b_inv
+        d = self.costs - y @ self.a
+        for j in range(self.ncols):
+            s = self.status[j]
+            if s == BASIC or self.lower[j] == self.upper[j]:
+                continue
+            if s == AT_LOWER and d[j] < -_EPSILON:
+                if not np.isfinite(self.upper[j]):
+                    return False
+                self.status[j] = AT_UPPER
+            elif s == AT_UPPER and d[j] > _EPSILON:
+                if not np.isfinite(self.lower[j]):
+                    return False
+                self.status[j] = AT_LOWER
+            elif s == FREE and abs(d[j]) > _EPSILON:
+                return False
+
+        self._compute_xb()
+        return True
+
+    def _reoptimize(self) -> SimplexStatus:
+        """Dual simplex to primal feasibility, then primal clean-up."""
+        status = self._dual(self.costs)
+        if status is not SimplexStatus.OPTIMAL:
+            return status
+        return self._primal(self.costs)
+
+    # -- primal simplex -----------------------------------------------------------
+
+    def _primal(self, costs: np.ndarray) -> SimplexStatus:
+        max_iterations = _MAX_ITERATIONS_FACTOR * (self.m + self.ncols + 1)
+        for _ in range(max_iterations):
+            self.iterations += 1
+            y = costs[self.basis] @ self.b_inv
+            d = costs - y @ self.a
+
+            entering, direction = self._choose_entering(d)
+            if entering is None:
+                return SimplexStatus.OPTIMAL
+
+            w = self.b_inv @ self.a[:, entering]
+            step, limit_row, leave_to = self._primal_ratio_test(entering, direction, w)
+            if step is None:
+                return SimplexStatus.UNBOUNDED
+
+            if limit_row is None:
+                # Bound flip: the entering column hits its opposite bound first.
+                self.xb -= w * (direction * step)
+                self.status[entering] = (
+                    AT_UPPER if self.status[entering] == AT_LOWER else AT_LOWER
+                )
+                self._note_step(step)
+                continue
+
+            entering_status = self.status[entering]
+            if entering_status == AT_LOWER:
+                start = self.lower[entering]
+            elif entering_status == AT_UPPER:
+                start = self.upper[entering]
+            else:
+                start = 0.0
+            leaving = self.basis[limit_row]
+            self.xb -= w * (direction * step)
+            refactored = self._apply_pivot(limit_row, entering, w)
+            self.status[leaving] = leave_to
+            if self._numerical_failure:
+                return SimplexStatus.ITERATION_LIMIT
+            if refactored:
+                self._compute_xb()
+            else:
+                self.xb[limit_row] = start + direction * step
+            self._note_step(step)
+        return SimplexStatus.ITERATION_LIMIT
+
+    def _choose_entering(self, d: np.ndarray) -> tuple[int | None, int]:
+        movable = self.lower < self.upper
+        at_lower = (self.status == AT_LOWER) & movable & (d < -_EPSILON)
+        at_upper = (self.status == AT_UPPER) & movable & (d > _EPSILON)
+        free = (self.status == FREE) & (np.abs(d) > _EPSILON)
+        eligible = np.nonzero(at_lower | at_upper | free)[0]
+        if eligible.size == 0:
+            return None, 0
+        if self._bland:
+            j = int(eligible[0])
+        else:
+            j = int(eligible[np.argmax(np.abs(d[eligible]))])
+        direction = 1 if d[j] < 0 else -1
+        return j, direction
+
+    def _primal_ratio_test(
+        self, entering: int, direction: int, w: np.ndarray
+    ) -> tuple[float | None, int | None, int | None]:
+        """Largest step for the entering column; (None,..) means unbounded.
+
+        Returns ``(step, limiting_row, leaving_status)``; a ``None`` row with a
+        finite step is a bound flip.
+        """
+        span = self.upper[entering] - self.lower[entering]
+        best_t = span if np.isfinite(span) else np.inf
+        limit_row: int | None = None
+        leave_to: int | None = None
+        for i in range(self.m):
+            rate = -direction * w[i]  # d(x_B[i]) / d(step)
+            basic_col = self.basis[i]
+            if rate < -_PIVOT_EPSILON and np.isfinite(self.lower[basic_col]):
+                t = (self.xb[i] - self.lower[basic_col]) / (-rate)
+                to = AT_LOWER
+            elif rate > _PIVOT_EPSILON and np.isfinite(self.upper[basic_col]):
+                t = (self.upper[basic_col] - self.xb[i]) / rate
+                to = AT_UPPER
+            else:
+                continue
+            t = max(t, 0.0)
+            if t < best_t - _RATIO_TIE_TOLERANCE:
+                best_t, limit_row, leave_to = t, i, to
+            elif limit_row is not None and t <= best_t + _RATIO_TIE_TOLERANCE:
+                if self._bland:
+                    if basic_col < self.basis[limit_row]:
+                        limit_row, leave_to = i, to
+                elif abs(w[i]) > abs(w[limit_row]):
+                    limit_row, leave_to = i, to
+        if not np.isfinite(best_t) and limit_row is None:
+            return None, None, None
+        return float(best_t), limit_row, leave_to
+
+    # -- dual simplex ---------------------------------------------------------------
+
+    def _dual(self, costs: np.ndarray) -> SimplexStatus:
+        max_iterations = _MAX_ITERATIONS_FACTOR * (self.m + self.ncols + 1)
+        for _ in range(max_iterations):
+            if self.m == 0:
+                return SimplexStatus.OPTIMAL
+            below = self.lower[self.basis] - self.xb
+            above = self.xb - self.upper[self.basis]
+            violation = np.maximum(below, above)
+            worst = float(violation.max()) if violation.size else 0.0
+            if worst <= _FEASIBILITY_TOLERANCE:
+                return SimplexStatus.OPTIMAL
+            self.iterations += 1
+
+            if self._bland:
+                rows = np.nonzero(violation > _FEASIBILITY_TOLERANCE)[0]
+                r = int(rows[np.argmin(self.basis[rows])])
+            else:
+                r = int(np.argmax(violation))
+            leaving_below = below[r] > above[r]
+
+            alpha = self.b_inv[r] @ self.a
+            y = costs[self.basis] @ self.b_inv
+            d = costs - y @ self.a
+
+            movable = self.lower < self.upper
+            at_lower = (self.status == AT_LOWER) & movable
+            at_upper = (self.status == AT_UPPER) & movable
+            free = self.status == FREE
+            if leaving_below:
+                # x_B[r] must increase: dx_B[r]/dx_j = -alpha_j.
+                mask = (
+                    (at_lower & (alpha < -_PIVOT_EPSILON))
+                    | (at_upper & (alpha > _PIVOT_EPSILON))
+                    | (free & (np.abs(alpha) > _PIVOT_EPSILON))
+                )
+            else:
+                mask = (
+                    (at_lower & (alpha > _PIVOT_EPSILON))
+                    | (at_upper & (alpha < -_PIVOT_EPSILON))
+                    | (free & (np.abs(alpha) > _PIVOT_EPSILON))
+                )
+            eligible = np.nonzero(mask)[0]
+            if eligible.size == 0:
+                return SimplexStatus.INFEASIBLE
+            ratios = np.abs(d[eligible]) / np.abs(alpha[eligible])
+            near = eligible[ratios <= ratios.min() + _RATIO_TIE_TOLERANCE]
+            if self._bland:
+                q = int(near[0])
+            else:
+                q = int(near[np.argmax(np.abs(alpha[near]))])
+
+            w = self.b_inv @ self.a[:, q]
+            if abs(w[r]) < _PIVOT_EPSILON:
+                # The eta-updated inverse disagrees with the priced row; rebuild
+                # it once and let the caller fall back if that does not help.
+                if not self._refactorize():
+                    return SimplexStatus.ITERATION_LIMIT
+                self._compute_xb()
+                w = self.b_inv @ self.a[:, q]
+                if abs(w[r]) < _PIVOT_EPSILON:
+                    return SimplexStatus.ITERATION_LIMIT
+
+            # Incremental primal update: move the entering column by exactly
+            # the amount that lands x_B[r] on its violated bound, then make it
+            # basic there (full recompute only after a refactorisation).
+            target = self.lower[self.basis[r]] if leaving_below else self.upper[self.basis[r]]
+            entering_step = (self.xb[r] - target) / w[r]
+            entering_status = self.status[q]
+            if entering_status == AT_LOWER:
+                entering_start = self.lower[q]
+            elif entering_status == AT_UPPER:
+                entering_start = self.upper[q]
+            else:
+                entering_start = 0.0
+            leaving = self.basis[r]
+            self.xb -= w * entering_step
+            refactored = self._apply_pivot(r, q, w)
+            self.status[leaving] = AT_LOWER if leaving_below else AT_UPPER
+            if self._numerical_failure:
+                return SimplexStatus.ITERATION_LIMIT
+            if refactored:
+                self._compute_xb()
+            else:
+                self.xb[r] = entering_start + entering_step
+            self._note_step(float(ratios.min()))
+        return SimplexStatus.ITERATION_LIMIT
+
+    # -- shared machinery -----------------------------------------------------------
+
+    def _apply_pivot(self, row: int, entering: int, w: np.ndarray) -> bool:
+        """Swap ``entering`` into the basis at ``row``; True if refactorised.
+
+        A failed refactorisation (singular or non-finite inverse) raises the
+        ``_numerical_failure`` flag so the driving loop can bail out with
+        ITERATION_LIMIT instead of iterating on a corrupt inverse.
+        """
+        self.basis[row] = entering
+        self.status[entering] = BASIC
+        pivot = w[row]
+        self.b_inv[row] = self.b_inv[row] / pivot
+        scale = w.copy()
+        scale[row] = 0.0
+        self.b_inv -= np.outer(scale, self.b_inv[row])
+        self._pivots_since_refactor += 1
+        if self._pivots_since_refactor >= _REFACTOR_INTERVAL:
+            if not self._refactorize():
+                self._numerical_failure = True
+            return True
+        return False
+
+    def _refactorize(self) -> bool:
+        if self.m == 0:
+            self.b_inv = np.eye(0)
+            self._pivots_since_refactor = 0
+            return True
+        try:
+            self.b_inv = np.linalg.inv(self.a[:, self.basis])
+        except np.linalg.LinAlgError:
+            return False
+        if not np.all(np.isfinite(self.b_inv)):
+            return False
+        self._pivots_since_refactor = 0
+        return True
+
+    def _note_step(self, step: float) -> None:
+        if step > _EPSILON:
+            self._degenerate_streak = 0
+            self._bland = False
+        else:
+            self._degenerate_streak += 1
+            if self._degenerate_streak > _DEGENERATE_STREAK_LIMIT:
+                self._bland = True
+
+    def _nonbasic_values(self) -> np.ndarray:
+        x = np.zeros(self.ncols)
+        at_lower = self.status == AT_LOWER
+        at_upper = self.status == AT_UPPER
+        x[at_lower] = self.lower[at_lower]
+        x[at_upper] = self.upper[at_upper]
+        return x
+
+    def _compute_xb(self) -> None:
+        x = self._nonbasic_values()
+        self.xb = self.b_inv @ (self.b - self.a @ x)
+
+    def _full_solution(self) -> np.ndarray:
+        x = self._nonbasic_values()
+        x[self.basis] = self.xb
+        return x
+
+    def _result(self, status: SimplexStatus, warm_started: bool = False) -> SimplexResult:
+        if status is not SimplexStatus.OPTIMAL:
+            return SimplexResult(
+                status, np.empty(0), float("nan"), None, self.iterations, warm_started
+            )
+        x = self._full_solution()
+        if not np.all(np.isfinite(x)):
+            # A corrupt basis inverse can only produce non-finite values; never
+            # report that as OPTIMAL.
+            return SimplexResult(
+                SimplexStatus.ITERATION_LIMIT,
+                np.empty(0),
+                float("nan"),
+                None,
+                self.iterations,
+                warm_started,
+            )
+        objective = float(self.costs[: self.n] @ x[: self.n])
+        basis = SimplexBasis(
+            self.basis.copy(), self.status.copy(), self.n, self.mu, self.me
+        )
+        return SimplexResult(
+            SimplexStatus.OPTIMAL,
+            x[: self.n].copy(),
+            objective,
+            basis,
+            self.iterations,
+            warm_started,
+        )

@@ -32,7 +32,14 @@ class SolverStatus(enum.Enum):
 
 @dataclass
 class SolveStats:
-    """Statistics accumulated during a solve."""
+    """Statistics accumulated during a solve.
+
+    ``simplex_iterations`` and ``warm_start_hits`` are only populated by the
+    SIMPLEX LP backend: the former counts pivots/bound-flips summed over all
+    LP solves, the latter counts LP solves that successfully reoptimised from
+    a parent basis instead of starting cold.  Their ratio to ``lp_solves``
+    is what the benchmark harness uses to prove basis reuse is working.
+    """
 
     nodes_explored: int = 0
     lp_solves: int = 0
@@ -40,6 +47,15 @@ class SolveStats:
     best_bound: float = float("nan")
     wall_time_seconds: float = 0.0
     gap: float = float("nan")
+    simplex_iterations: int = 0
+    warm_start_hits: int = 0
+
+    @property
+    def warm_start_rate(self) -> float:
+        """Fraction of LP solves that reused a parent basis (0.0 when none ran)."""
+        if self.lp_solves == 0:
+            return 0.0
+        return self.warm_start_hits / self.lp_solves
 
 
 @dataclass

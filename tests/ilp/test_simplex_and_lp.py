@@ -139,3 +139,56 @@ class TestBackendAgreement:
         elif reference.status == 0:
             assert simplex.status is SimplexStatus.OPTIMAL
             assert simplex.objective == pytest.approx(reference.fun, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.data(),
+        num_vars=st.integers(min_value=1, max_value=4),
+        num_constraints=st.integers(min_value=1, max_value=4),
+    )
+    def test_random_warm_reoptimisations_agree_with_highs(self, data, num_vars, num_constraints):
+        """Property: warm-started re-solves match HiGHS on the modified LP.
+
+        Solve a random bounded LP cold, tighten one variable's bounds the way
+        a branch-and-bound child would, then re-solve from the parent basis.
+        The warm result must agree with a from-scratch HiGHS solve on both
+        feasibility and the optimal objective.
+        """
+        coefficient = st.integers(min_value=-5, max_value=5)
+        c = np.array([data.draw(coefficient) for _ in range(num_vars)], dtype=float)
+        a_ub = np.array(
+            [[data.draw(coefficient) for _ in range(num_vars)] for _ in range(num_constraints)],
+            dtype=float,
+        )
+        b_ub = np.array(
+            [data.draw(st.integers(min_value=-3, max_value=10)) for _ in range(num_constraints)],
+            dtype=float,
+        )
+        bounds = [(0.0, 5.0)] * num_vars
+
+        parent = solve_dense_simplex(c, a_ub, b_ub, np.empty((0, num_vars)), np.empty(0), bounds)
+        if parent.status is not SimplexStatus.OPTIMAL:
+            return
+
+        branch_var = data.draw(st.integers(min_value=0, max_value=num_vars - 1))
+        branch_up = data.draw(st.booleans())
+        split = float(np.floor(parent.x[branch_var]))
+        child_bounds = list(bounds)
+        if branch_up:
+            child_bounds[branch_var] = (min(split + 1.0, 5.0), 5.0)
+        else:
+            child_bounds[branch_var] = (0.0, max(split, 0.0))
+
+        warm = solve_dense_simplex(
+            c, a_ub, b_ub, np.empty((0, num_vars)), np.empty(0),
+            child_bounds, warm_start=parent.basis,
+        )
+
+        from scipy.optimize import linprog
+
+        reference = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=child_bounds, method="highs")
+        if reference.status == 2:
+            assert warm.status is SimplexStatus.INFEASIBLE
+        elif reference.status == 0:
+            assert warm.status is SimplexStatus.OPTIMAL
+            assert warm.objective == pytest.approx(reference.fun, abs=1e-6)

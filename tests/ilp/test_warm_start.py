@@ -1,0 +1,323 @@
+"""Tests for warm-started reoptimisation and revised-simplex edge cases.
+
+Covers the basis-reuse protocol end to end (simplex → lp_backend →
+branch-and-bound), the degenerate/unbounded/equality-only corners of the
+bounded revised simplex, and the fallback path for stale or corrupted bases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
+from repro.ilp.lp_backend import LpBackend, WarmStart, solve_lp_dense
+from repro.ilp.model import ConstraintSense, IlpModel, ObjectiveSense
+from repro.ilp.simplex import (
+    SimplexBasis,
+    SimplexStatus,
+    solve_dense_simplex,
+)
+from repro.ilp.status import SolverStatus
+
+
+def _knapsack_lp(n=6, seed=3):
+    rng = np.random.default_rng(seed)
+    c = -rng.integers(1, 10, n).astype(float)  # maximise value → minimise -value
+    weights = rng.integers(1, 8, n).astype(float)
+    a_ub = weights.reshape(1, -1)
+    b_ub = np.array([float(weights.sum()) / 2.0])
+    bounds = [(0.0, 1.0)] * n
+    return c, a_ub, b_ub, np.empty((0, n)), np.empty(0), bounds
+
+
+class TestWarmStartedReoptimisation:
+    def test_warm_solve_matches_cold_after_bound_tightening(self):
+        c, a_ub, b_ub, a_eq, b_eq, bounds = _knapsack_lp()
+        cold_parent = solve_dense_simplex(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        assert cold_parent.status is SimplexStatus.OPTIMAL
+        assert cold_parent.basis is not None
+
+        # Branch: fix the most fractional variable down to 0 (a child node).
+        fractional = int(np.argmax(np.abs(cold_parent.x - np.rint(cold_parent.x))))
+        child_bounds = list(bounds)
+        child_bounds[fractional] = (0.0, 0.0)
+
+        warm = solve_dense_simplex(
+            c, a_ub, b_ub, a_eq, b_eq, child_bounds, warm_start=cold_parent.basis
+        )
+        cold = solve_dense_simplex(c, a_ub, b_ub, a_eq, b_eq, child_bounds)
+        assert warm.status is SimplexStatus.OPTIMAL
+        assert warm.warm_started
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-8)
+        assert warm.iterations <= cold.iterations
+
+    def test_warm_solve_detects_child_infeasibility(self):
+        # x + y <= 1; branching both variables up to >= 1 is infeasible.
+        c = np.array([1.0, 1.0])
+        a_ub = np.array([[1.0, 1.0]])
+        b_ub = np.array([1.0])
+        parent = solve_dense_simplex(
+            c, a_ub, b_ub, np.empty((0, 2)), np.empty(0), [(0.0, 5.0), (0.0, 5.0)]
+        )
+        assert parent.status is SimplexStatus.OPTIMAL
+        child = solve_dense_simplex(
+            c, a_ub, b_ub, np.empty((0, 2)), np.empty(0),
+            [(1.0, 5.0), (1.0, 5.0)], warm_start=parent.basis,
+        )
+        assert child.status is SimplexStatus.INFEASIBLE
+        assert child.warm_started
+
+    def test_stale_basis_falls_back_to_cold_solve(self):
+        c, a_ub, b_ub, a_eq, b_eq, bounds = _knapsack_lp()
+        # A basis exported from a completely different problem shape.
+        stale = SimplexBasis(
+            basic=np.array([0]),
+            status=np.zeros(4, dtype=np.int8),
+            num_structural=2,
+            num_ub=1,
+            num_eq=0,
+        )
+        result = solve_dense_simplex(c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=stale)
+        assert result.status is SimplexStatus.OPTIMAL
+        assert not result.warm_started
+
+    def test_corrupted_basis_with_right_shape_falls_back(self):
+        c, a_ub, b_ub, a_eq, b_eq, bounds = _knapsack_lp()
+        n = len(c)
+        ncols = n + 1 + 1  # structural + 1 slack + 1 artificial
+        # Duplicate basic indices and inconsistent statuses.
+        corrupted = SimplexBasis(
+            basic=np.array([2]),
+            status=np.full(ncols, 1, dtype=np.int8),  # nobody marked BASIC
+            num_structural=n,
+            num_ub=1,
+            num_eq=0,
+        )
+        reference = solve_dense_simplex(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        result = solve_dense_simplex(c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=corrupted)
+        assert result.status is SimplexStatus.OPTIMAL
+        assert not result.warm_started
+        assert result.objective == pytest.approx(reference.objective)
+
+    def test_inconsistent_status_vector_falls_back(self):
+        c, a_ub, b_ub, a_eq, b_eq, bounds = _knapsack_lp()
+        n = len(c)
+        ncols = n + 1 + 1
+        # The BASIC marker sits on column 0 but the basic list names column 1.
+        status = np.full(ncols, 1, dtype=np.int8)
+        status[0] = 0
+        bad = SimplexBasis(
+            basic=np.array([1]), status=status, num_structural=n, num_ub=1, num_eq=0
+        )
+        result = solve_dense_simplex(c, a_ub, b_ub, a_eq, b_eq, bounds, warm_start=bad)
+        assert result.status is SimplexStatus.OPTIMAL
+        assert not result.warm_started
+
+
+class TestSimplexEdgeCases:
+    def test_beale_degenerate_cycling_example(self):
+        """Beale's classic cycling LP: Dantzig pricing cycles, Bland must engage."""
+        c = np.array([-0.75, 150.0, -0.02, 6.0])
+        a_ub = np.array(
+            [
+                [0.25, -60.0, -1.0 / 25.0, 9.0],
+                [0.5, -90.0, -1.0 / 50.0, 3.0],
+                [0.0, 0.0, 1.0, 0.0],
+            ]
+        )
+        b_ub = np.array([0.0, 0.0, 1.0])
+        bounds = [(0.0, None)] * 4
+        result = solve_dense_simplex(c, a_ub, b_ub, np.empty((0, 4)), np.empty(0), bounds)
+        assert result.status is SimplexStatus.OPTIMAL
+        assert result.objective == pytest.approx(-0.05)
+
+    def test_unbounded_direction_blocked_by_finite_bounds(self):
+        """The cost direction is unbounded in the cone but every variable is boxed."""
+        c = np.array([-1.0, -2.0, -3.0])
+        # A constraint that does not block growth (negative coefficients).
+        a_ub = np.array([[-1.0, -1.0, -1.0]])
+        b_ub = np.array([5.0])
+        bounds = [(0.0, 4.0), (0.0, 3.0), (0.0, 2.0)]
+        result = solve_dense_simplex(c, a_ub, b_ub, np.empty((0, 3)), np.empty(0), bounds)
+        assert result.status is SimplexStatus.OPTIMAL
+        assert result.x == pytest.approx([4.0, 3.0, 2.0])
+        assert result.objective == pytest.approx(-16.0)
+
+    def test_truly_unbounded_is_still_detected(self):
+        c = np.array([-1.0, 0.0])
+        a_ub = np.array([[0.0, 1.0]])
+        b_ub = np.array([1.0])
+        bounds = [(0.0, None), (0.0, None)]
+        result = solve_dense_simplex(c, a_ub, b_ub, np.empty((0, 2)), np.empty(0), bounds)
+        assert result.status is SimplexStatus.UNBOUNDED
+
+    def test_equality_only_system(self):
+        """No inequality rows at all: the basis is built purely from artificials."""
+        c = np.array([2.0, 3.0, 1.0])
+        a_eq = np.array([[1.0, 1.0, 1.0], [1.0, -1.0, 0.0]])
+        b_eq = np.array([6.0, 1.0])
+        bounds = [(0.0, None)] * 3
+        result = solve_dense_simplex(c, np.empty((0, 3)), np.empty(0), a_eq, b_eq, bounds)
+        assert result.status is SimplexStatus.OPTIMAL
+        # x - y = 1, x + y + z = 6; cheapest is z as large as possible:
+        # x = 1, y = 0, z = 5 → objective 2 + 0 + 5 = 7.
+        assert result.objective == pytest.approx(7.0)
+        assert result.x == pytest.approx([1.0, 0.0, 5.0])
+
+    def test_equality_only_with_redundant_row(self):
+        """A redundant equality leaves an artificial basic at zero — harmless."""
+        c = np.array([1.0, 1.0])
+        a_eq = np.array([[1.0, 1.0], [2.0, 2.0]])
+        b_eq = np.array([4.0, 8.0])
+        bounds = [(0.0, None), (0.0, None)]
+        result = solve_dense_simplex(c, np.empty((0, 2)), np.empty(0), a_eq, b_eq, bounds)
+        assert result.status is SimplexStatus.OPTIMAL
+        assert result.objective == pytest.approx(4.0)
+
+    def test_warm_start_after_redundant_row_solve(self):
+        """A basis containing a (fixed-at-zero) artificial column warm-starts fine."""
+        c = np.array([1.0, 1.0])
+        a_eq = np.array([[1.0, 1.0], [2.0, 2.0]])
+        b_eq = np.array([4.0, 8.0])
+        parent = solve_dense_simplex(
+            c, np.empty((0, 2)), np.empty(0), a_eq, b_eq, [(0.0, None), (0.0, None)]
+        )
+        child = solve_dense_simplex(
+            c, np.empty((0, 2)), np.empty(0), a_eq, b_eq,
+            [(3.0, None), (0.0, None)], warm_start=parent.basis,
+        )
+        assert child.status is SimplexStatus.OPTIMAL
+        assert child.objective == pytest.approx(4.0)
+        assert child.x[0] >= 3.0 - 1e-9
+
+
+class TestBackendWarmStartProtocol:
+    def test_lp_backend_passes_basis_through(self):
+        model = IlpModel()
+        model.add_variable("x", 0, 10, is_integer=False)
+        model.add_variable("y", 0, 10, is_integer=False)
+        model.add_constraint({0: 1.0, 1: 1.0}, ConstraintSense.LE, 8)
+        model.set_objective(ObjectiveSense.MAXIMIZE, {0: 3.0, 1: 1.0})
+        dense = model.to_dense()
+
+        cold = solve_lp_dense(dense, LpBackend.SIMPLEX)
+        assert cold.status is SolverStatus.OPTIMAL
+        assert cold.basis is not None
+        assert not cold.warm_start_used
+
+        lower, upper = dense.bound_arrays()
+        upper = upper.copy()
+        upper[0] = 5.0
+        warm = solve_lp_dense(
+            dense.with_bounds(lower, upper),
+            LpBackend.SIMPLEX,
+            warm_start=WarmStart(basis=cold.basis),
+        )
+        assert warm.status is SolverStatus.OPTIMAL
+        assert warm.warm_start_used
+        assert warm.objective_value == pytest.approx(5.0 * 3.0 + 3.0 * 1.0)
+
+    def test_highs_backend_ignores_warm_start(self):
+        model = IlpModel()
+        model.add_variable("x", 0, 4, is_integer=False)
+        model.set_objective(ObjectiveSense.MAXIMIZE, {0: 1.0})
+        dense = model.to_dense()
+        result = solve_lp_dense(dense, LpBackend.HIGHS, warm_start=WarmStart(basis=None))
+        assert result.status is SolverStatus.OPTIMAL
+        assert not result.warm_start_used
+        assert result.basis is None
+
+
+class TestBranchAndBoundBasisReuse:
+    def _hard_knapsack(self, n=14, seed=11):
+        rng = np.random.default_rng(seed)
+        model = IlpModel("warm_knapsack")
+        values = rng.integers(3, 30, n)
+        weights = rng.integers(2, 15, n)
+        for i in range(n):
+            model.add_variable(f"x{i}", 0, 1)
+        model.add_constraint(
+            {i: float(w) for i, w in enumerate(weights)},
+            ConstraintSense.LE,
+            float(weights.sum()) * 0.4,
+        )
+        model.set_objective(
+            ObjectiveSense.MAXIMIZE, {i: float(v) for i, v in enumerate(values)}
+        )
+        return model
+
+    def test_warm_start_hits_accumulate_and_answers_match(self):
+        model = self._hard_knapsack()
+        limits = SolverLimits(relative_gap=1e-9)
+        warm_solver = BranchAndBoundSolver(
+            limits=limits, lp_backend=LpBackend.SIMPLEX, warm_start_lp=True,
+            enable_rounding_heuristic=False,
+        )
+        cold_solver = BranchAndBoundSolver(
+            limits=limits, lp_backend=LpBackend.SIMPLEX, warm_start_lp=False,
+            enable_rounding_heuristic=False,
+        )
+        highs_solver = BranchAndBoundSolver(limits=limits, lp_backend=LpBackend.HIGHS)
+
+        warm = warm_solver.solve(model)
+        cold = cold_solver.solve(model)
+        highs = highs_solver.solve(model)
+
+        assert warm.status is SolverStatus.OPTIMAL
+        assert warm.objective_value == pytest.approx(cold.objective_value)
+        assert warm.objective_value == pytest.approx(highs.objective_value)
+
+        assert warm.stats.warm_start_hits > 0
+        assert cold.stats.warm_start_hits == 0
+        # Every non-root node warm-starts from its parent's basis.
+        if warm.stats.lp_solves > 1:
+            assert warm.stats.warm_start_rate >= 0.5
+        # Basis reuse must save pivots overall.
+        assert warm.stats.simplex_iterations < cold.stats.simplex_iterations
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_warm_and_cold_trees_agree_on_random_knapsacks(self, seed):
+        model = self._hard_knapsack(n=9, seed=seed)
+        limits = SolverLimits(relative_gap=1e-9)
+        warm = BranchAndBoundSolver(
+            limits=limits, lp_backend=LpBackend.SIMPLEX, warm_start_lp=True
+        ).solve(model)
+        highs = BranchAndBoundSolver(limits=limits).solve(model)
+        assert warm.status is highs.status
+        if warm.status is SolverStatus.OPTIMAL:
+            assert warm.objective_value == pytest.approx(highs.objective_value)
+
+
+class TestDenseFormCaching:
+    def test_to_dense_is_memoized_until_mutation(self):
+        model = IlpModel()
+        model.add_variable("x", 0, 5)
+        model.add_constraint({0: 1.0}, ConstraintSense.LE, 4)
+        first = model.to_dense()
+        assert model.to_dense() is first
+
+        model.add_constraint({0: 1.0}, ConstraintSense.GE, 1)
+        second = model.to_dense()
+        assert second is not first
+        assert second.a_ub.shape[0] == 2
+
+        model.set_objective(ObjectiveSense.MINIMIZE, {0: 1.0})
+        assert model.to_dense() is not second
+
+        third = model.to_dense()
+        model.add_variable("y", 0, 1)
+        assert model.to_dense() is not third
+
+    def test_invalidate_dense_cache_after_inplace_mutation(self):
+        model = IlpModel()
+        model.add_variable("x", 0, 5, is_integer=False)
+        model.set_objective(ObjectiveSense.MAXIMIZE, {0: 1.0})
+        dense = model.to_dense()
+        lower, upper = dense.bound_arrays()
+        assert upper[0] == pytest.approx(5.0)
+
+        model.variables[0].upper = 2.0
+        model.invalidate_dense_cache()
+        lower, upper = model.to_dense().bound_arrays()
+        assert upper[0] == pytest.approx(2.0)
