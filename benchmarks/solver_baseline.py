@@ -3,13 +3,20 @@
 
 Runs the Galaxy DIRECT workload through the SIMPLEX-backend branch-and-bound
 twice — once with basis reuse (warm starts) and once forced cold — and records
-node throughput, LP iteration counts and the warm-start hit rate.  The JSON
-is committed in-repo so future performance PRs have a trajectory to compare
-against, and CI re-generates it as a build artifact on every push.
+node throughput, LP iteration counts and the warm-start hit rate.  It also
+profiles the *constraint storage* of the matrix-form IR: for each query (and
+for a larger ``--form-rows`` DIRECT instance) it reports the matrix nnz, the
+bytes held by the chosen storage, and the bytes the PR 1 dense pipeline would
+have held for the same model (per-constraint coefficient dicts + dense
+``A_ub``/``A_eq`` + a dense simplex working matrix re-filled per solve).
+Peak RSS of the whole run is recorded so memory regressions surface in the
+uploaded CI artifact, not just throughput.  The JSON is committed in-repo so
+future performance PRs have a trajectory to compare against, and CI
+re-generates it as a build artifact on every push.
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/solver_baseline.py [--rows 800] [--out BENCH_solver.json]
+    PYTHONPATH=src python benchmarks/solver_baseline.py [--rows 800] [--form-rows 20000] [--out BENCH_solver.json]
 """
 
 from __future__ import annotations
@@ -18,17 +25,27 @@ import argparse
 import json
 import platform
 import subprocess
+import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.translator import translate_query
+from repro.db.expressions import col
 from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
 from repro.ilp.lp_backend import LpBackend
+from repro.ilp.simplex import _WorkMatrix
+from repro.paql.builder import query_over
 from repro.workloads.galaxy import galaxy_table, galaxy_workload
 
 #: Queries solved per configuration; Q1 branches (fractional LP relaxations),
 #: Q5 solves at the root, giving both tree shapes a voice in the baseline.
 _QUERIES = ("Q1", "Q5")
+
+#: Queries profiled for constraint storage: the whole workload's shapes plus
+#: a filtered-aggregate probe whose indicator rows exercise the CSR path.
+_STORAGE_QUERIES = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "SPARSE_PROBE")
 
 
 def _run_configuration(table, workload, warm_start_lp: bool) -> dict:
@@ -73,9 +90,121 @@ def _run_configuration(table, workload, warm_start_lp: bool) -> dict:
     }
 
 
+def _dict_entry_bytes(num_entries: int) -> int:
+    """Measured bytes of a ``{int: float}`` coefficient dict of this size.
+
+    This is what the PR 1 pipeline stored per constraint; measured on a real
+    dict (container + boxed keys/values) rather than theorised.
+    """
+    if num_entries == 0:
+        return sys.getsizeof({})
+    sample = {i + 1_000_000: float(i) + 0.5 for i in range(num_entries)}
+    boxed = num_entries * (sys.getsizeof(1_000_000) + sys.getsizeof(0.5))
+    return sys.getsizeof(sample) + boxed
+
+
+def _work_matrix_bytes(work: _WorkMatrix) -> int:
+    if work.sparse:
+        return work.data.nbytes + work.indices.nbytes + work.indptr.nbytes
+    return work.a.nbytes
+
+
+def _sparse_probe_query(table):
+    """A Galaxy query whose constraint rows are genuinely sparse.
+
+    Filtered COUNT aggregates translate to 0/1 indicator rows (non-zero only
+    for the tuples matching the filter), so unlike the plain COUNT/SUM rows of
+    Q1–Q7 this exercises the CSR storage path of the matrix form.
+    """
+    redshift = table.numeric_column("redshift")
+    radius = table.numeric_column("petroRad_r")
+    nearby = float(np.quantile(redshift, 0.15))
+    giant = float(np.quantile(radius, 0.92))
+    return (
+        query_over("galaxy", name="galaxy_sparse_probe")
+        .no_repetition()
+        .count_equals(12)
+        .filtered_count_at_least(col("redshift") < nearby, 4)
+        .filtered_count_at_most(col("petroRad_r") > giant, 2)
+        .compare_counts(col("redshift") < nearby, col("petroRad_r") > giant)
+        .maximize_sum("petroFlux_r")
+        .build()
+    )
+
+
+def _profile_storage(table, workload, query_names) -> dict:
+    """Constraint-storage accounting: matrix-form pipeline vs the dense baseline."""
+    per_query = {}
+    for name in query_names:
+        if name == "SPARSE_PROBE":
+            query = _sparse_probe_query(table)
+        else:
+            query = workload.query(name).query
+        model = translate_query(table, query).model
+        form = model.to_matrix()
+        work = _WorkMatrix(form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq)
+
+        n = model.num_variables
+        rows = model.num_constraints
+        nnz = form.nnz
+        model_bytes = sum(c.indices.nbytes + c.values.nbytes for c in model.constraints)
+        now_total = model_bytes + form.constraint_storage_bytes() + _work_matrix_bytes(work)
+
+        # PR 1 dense baseline for the identical model: one coefficient dict per
+        # constraint, dense A_ub/A_eq, and the dense m x (n + mu + m) working
+        # matrix the simplex re-filled on every solve.
+        baseline_dicts = sum(_dict_entry_bytes(c.nnz) for c in model.constraints)
+        # GE rows land in a_ub, so the dense matrices cover every row.
+        baseline_matrices = form.dense_storage_bytes()
+        mu = form.a_ub.shape[0]
+        baseline_work = work.m * (n + mu + work.m) * 8
+        baseline_total = baseline_dicts + baseline_matrices + baseline_work
+
+        per_query[name] = {
+            "variables": n,
+            "constraint_rows": rows,
+            "nnz": nnz,
+            "storage": "csr" if form.is_sparse else "dense",
+            "form_bytes": form.constraint_storage_bytes(),
+            "form_sparse_bytes": form.sparse_storage_bytes(),
+            "form_dense_bytes": form.dense_storage_bytes(),
+            "model_coefficient_bytes": model_bytes,
+            "work_matrix_bytes": _work_matrix_bytes(work),
+            "constraint_storage_bytes": now_total,
+            "dense_baseline_bytes": baseline_total,
+            "reduction_vs_dense_baseline": round(1.0 - now_total / baseline_total, 4),
+        }
+    totals = {
+        "nnz": sum(q["nnz"] for q in per_query.values()),
+        "constraint_storage_bytes": sum(
+            q["constraint_storage_bytes"] for q in per_query.values()
+        ),
+        "dense_baseline_bytes": sum(q["dense_baseline_bytes"] for q in per_query.values()),
+    }
+    totals["reduction_vs_dense_baseline"] = round(
+        1.0 - totals["constraint_storage_bytes"] / totals["dense_baseline_bytes"], 4
+    )
+    return {"per_query": per_query, **totals}
+
+
+def _peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process (bytes), where available."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes.
+    return peak * 1024 if sys.platform.startswith("linux") else peak
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rows", type=int, default=800, help="Galaxy table size")
+    parser.add_argument(
+        "--form-rows", type=int, default=20_000,
+        help="Galaxy table size for the large-instance constraint-storage profile",
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--out", default="BENCH_solver.json", help="output path")
     args = parser.parse_args()
@@ -85,6 +214,11 @@ def main() -> None:
 
     warm = _run_configuration(table, workload, warm_start_lp=True)
     cold = _run_configuration(table, workload, warm_start_lp=False)
+    storage = _profile_storage(table, workload, _STORAGE_QUERIES)
+
+    large_table = galaxy_table(args.form_rows, seed=args.seed)
+    large_workload = galaxy_workload(large_table, seed=args.seed)
+    large_storage = _profile_storage(large_table, large_workload, _STORAGE_QUERIES)
 
     try:
         commit = subprocess.run(
@@ -99,7 +233,11 @@ def main() -> None:
         "description": (
             "SIMPLEX-backend branch-and-bound over the Galaxy DIRECT workload "
             f"({args.rows} rows, queries {', '.join(_QUERIES)}); warm = basis "
-            "reuse across the tree, cold = every node solved from scratch."
+            "reuse across the tree, cold = every node solved from scratch. "
+            "matrix_form profiles constraint storage (model arrays + matrix "
+            "form + shared simplex working matrix) against the PR 1 dense "
+            "pipeline (coefficient dicts + dense matrices + per-solve dense "
+            f"working matrix), at {args.rows} and {args.form_rows} rows."
         ),
         "commit": commit,
         "python": platform.python_version(),
@@ -111,6 +249,15 @@ def main() -> None:
         "iteration_savings": round(
             1.0 - warm["simplex_iterations"] / max(1, cold["simplex_iterations"]), 4
         ),
+        "matrix_form": {
+            "rows": args.rows,
+            **storage,
+        },
+        "matrix_form_large": {
+            "rows": args.form_rows,
+            **large_storage,
+        },
+        "peak_rss_bytes": _peak_rss_bytes(),
     }
 
     out = Path(args.out)
@@ -123,6 +270,15 @@ def main() -> None:
     print(
         f"cold: {cold['nodes_per_second']} nodes/s, {cold['simplex_iterations']} pivots"
     )
+    print(
+        f"storage @{args.form_rows} rows: {large_storage['nnz']} nnz, "
+        f"{large_storage['constraint_storage_bytes']:,} bytes vs dense baseline "
+        f"{large_storage['dense_baseline_bytes']:,} "
+        f"({large_storage['reduction_vs_dense_baseline']:.0%} smaller)"
+    )
+    rss = report["peak_rss_bytes"]
+    if rss:
+        print(f"peak RSS: {rss / 1e6:.1f} MB")
 
 
 if __name__ == "__main__":

@@ -42,6 +42,12 @@ class DirectStats:
     total_seconds: float = 0.0
     num_variables: int = 0
     num_constraints: int = 0
+    constraint_nnz: int = 0
+    """Structural non-zeros of the translated constraint matrix."""
+    constraint_storage_bytes: int = 0
+    """Bytes held by the matrix-form constraint storage (CSR or dense)."""
+    matrix_is_sparse: bool = False
+    """Whether the matrix form chose CSR storage over the dense fallback."""
     solver_status: SolverStatus | None = None
     solve_stats: SolveStats | None = None
     """The solver's own statistics (nodes, LP solves, warm-start hits, …)."""
@@ -69,6 +75,10 @@ class DirectEvaluator:
         """
         start = time.perf_counter()
         translation = translate_query(table, query)
+        # Exporting the matrix form here is free for the solver (the export is
+        # memoized on the model) and lets the stats report the storage the
+        # solve actually used.
+        form = translation.model.to_matrix()
         translated_at = time.perf_counter()
 
         solution = self.solver.solve(translation.model)
@@ -80,6 +90,9 @@ class DirectEvaluator:
             total_seconds=solved_at - start,
             num_variables=translation.num_variables,
             num_constraints=translation.model.num_constraints,
+            constraint_nnz=form.nnz,
+            constraint_storage_bytes=form.constraint_storage_bytes(),
+            matrix_is_sparse=form.is_sparse,
             solver_status=solution.status,
             solve_stats=solution.stats,
         )

@@ -23,11 +23,20 @@ sketch is merged with one group's refine query, trying groups in turn, so a
 single awkward centroid cannot make the whole query look infeasible.
 
 The implementation shares the PaQL→ILP translation with DIRECT by linearising
-every global constraint once into per-tuple coefficient vectors
-(:func:`repro.core.translator.constraint_linear_rows`); the sketch uses the
-per-group *means* of those vectors (the centroid value of a linear function is
-the mean of its per-tuple values) and the refine step uses the vectors
-restricted to one group with residual right-hand sides.
+every global constraint once into a per-tuple coefficient *matrix* (one row
+per translated constraint, one column per tuple, stacked from
+:func:`repro.core.translator.constraint_linear_rows`); the sketch uses the
+per-group column *means* of that matrix (the centroid value of a linear
+function is the mean of its per-tuple values) and the refine step slices the
+columns of one group with residual right-hand sides.  Sketch and refine ILPs
+are built from coefficient triplets (``add_constraint_arrays``), never
+per-entry dicts.
+
+Refine ILPs of the same group recur across backtracking retries with
+identical constraint-matrix shape and only shifted right-hand sides, so the
+evaluator caches the last optimal root basis per group and passes it back as
+a warm start on retry (SIMPLEX-backend branch-and-bound only; anything else
+ignores it).
 """
 
 from __future__ import annotations
@@ -51,6 +60,7 @@ from repro.errors import (
     SolverCapacityError,
 )
 from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.lp_backend import LpBackend, WarmStart
 from repro.ilp.model import ConstraintSense, IlpModel
 from repro.ilp.status import SolverStatus
 from repro.paql.ast import PackageQuery
@@ -90,16 +100,29 @@ class SketchRefineStats:
     """Simplex pivots summed over all solves (SIMPLEX backend only)."""
     solver_warm_start_hits: int = 0
     """LP solves that reoptimised from a parent basis (SIMPLEX backend only)."""
+    refine_retry_warm_starts: int = 0
+    """Refine solves seeded with a cached basis from an earlier retry of the
+    same group (requires a SIMPLEX-backend :class:`BranchAndBoundSolver`)."""
 
 
 @dataclass
 class _Linearisation:
-    """Per-tuple linear form of the query, computed once and reused everywhere."""
+    """Per-tuple linear form of the query, computed once and reused everywhere.
+
+    ``constraint_matrix`` stacks the rows' coefficient vectors into one
+    ``(num_constraints, num_table_rows)`` array so group means, fixed-part
+    contributions and per-group slices are single vectorised operations.
+    """
 
     eligible_mask: np.ndarray          # Boolean mask over the full table.
-    constraint_rows: list[LinearConstraintRow]  # Coefficients over ALL rows.
+    constraint_rows: list[LinearConstraintRow]  # Sense/rhs/name per row.
+    constraint_matrix: np.ndarray      # (num_constraints, num_table_rows).
     objective_sense: object
     objective_coefficients: np.ndarray  # Over ALL rows.
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraint_rows)
 
 
 class SketchRefineEvaluator:
@@ -114,6 +137,10 @@ class SketchRefineEvaluator:
         self.solver = solver or BranchAndBoundSolver()
         self.config = config or SketchRefineConfig()
         self.last_stats = SketchRefineStats()
+        # Last optimal root basis per refine group, reused as a warm start when
+        # backtracking retries the same group (the retry differs only in its
+        # residual right-hand sides, so the basis stays structurally valid).
+        self._refine_basis: dict[int, object] = {}
 
     # -- public API -----------------------------------------------------------------------
 
@@ -135,6 +162,7 @@ class SketchRefineEvaluator:
         start = time.perf_counter()
         stats = SketchRefineStats(num_groups=partitioning.num_groups)
         self.last_stats = stats
+        self._refine_basis = {}
 
         linearisation = self._linearise(table, query)
         group_info = self._group_info(partitioning, linearisation.eligible_mask)
@@ -179,8 +207,13 @@ class SketchRefineEvaluator:
         for number, constraint in enumerate(query.global_constraints):
             name = constraint.name or f"global_{number}"
             rows.extend(constraint_linear_rows(table, all_rows, constraint, name))
+        matrix = (
+            np.vstack([row.coefficients for row in rows])
+            if rows
+            else np.empty((0, table.num_rows))
+        )
         sense, objective = objective_linear(table, all_rows, query)
-        return _Linearisation(mask, rows, sense, objective)
+        return _Linearisation(mask, rows, matrix, sense, objective)
 
     @staticmethod
     def _group_info(
@@ -207,12 +240,10 @@ class SketchRefineEvaluator:
         objective_means: dict[int, np.ndarray] = {}
         for gid, rows in group_info.items():
             if not len(rows):
-                constraint_means[gid] = np.zeros(len(linearisation.constraint_rows))
+                constraint_means[gid] = np.zeros(linearisation.num_constraints)
                 objective_means[gid] = np.zeros(1)
                 continue
-            constraint_means[gid] = np.array(
-                [row.coefficients[rows].mean() for row in linearisation.constraint_rows]
-            )
+            constraint_means[gid] = linearisation.constraint_matrix[:, rows].mean(axis=1)
             objective_means[gid] = np.array([linearisation.objective_coefficients[rows].mean()])
         return {"constraints": constraint_means, "objective": objective_means}
 
@@ -305,28 +336,43 @@ class SketchRefineEvaluator:
                 model.add_variable(f"g_{gid}", 0.0, group_cap)
                 variable_kind.append(("group", gid))
 
+        # One coefficient matrix over the sketch variables: group columns carry
+        # the group means, hybrid-row columns the original per-tuple vectors.
+        positions = np.arange(len(variable_kind))
+        is_group = np.array([kind == "group" for kind, _ in variable_kind], dtype=bool)
+        keys = np.array([key for _, key in variable_kind], dtype=np.int64)
+        num_rows = linearisation.num_constraints
+        coefficient_matrix = np.empty((num_rows, len(variable_kind)))
+        if is_group.any():
+            coefficient_matrix[:, is_group] = np.stack(
+                [group_means["constraints"][gid] for gid in keys[is_group]], axis=1
+            )
+        if (~is_group).any():
+            coefficient_matrix[:, ~is_group] = linearisation.constraint_matrix[
+                :, keys[~is_group]
+            ]
         for row_number, constraint_row in enumerate(linearisation.constraint_rows):
-            coefficients: dict[int, float] = {}
-            for position, (kind, key) in enumerate(variable_kind):
-                if kind == "group":
-                    value = float(group_means["constraints"][key][row_number])
-                else:
-                    value = float(constraint_row.coefficients[key])
-                if value:
-                    coefficients[position] = value
-            model.add_constraint(
-                coefficients, constraint_row.sense, constraint_row.rhs, name=constraint_row.name
+            row_values = coefficient_matrix[row_number]
+            nonzero = np.nonzero(row_values)[0]
+            model.add_constraint_arrays(
+                positions[nonzero],
+                row_values[nonzero],
+                constraint_row.sense,
+                constraint_row.rhs,
+                name=constraint_row.name,
             )
 
-        objective: dict[int, float] = {}
-        for position, (kind, key) in enumerate(variable_kind):
-            if kind == "group":
-                value = float(group_means["objective"][key][0])
-            else:
-                value = float(linearisation.objective_coefficients[key])
-            if value:
-                objective[position] = value
-        model.set_objective(linearisation.objective_sense, objective)
+        objective_values = np.empty(len(variable_kind))
+        if is_group.any():
+            objective_values[is_group] = [
+                float(group_means["objective"][gid][0]) for gid in keys[is_group]
+            ]
+        if (~is_group).any():
+            objective_values[~is_group] = linearisation.objective_coefficients[keys[~is_group]]
+        nonzero = np.nonzero(objective_values)[0]
+        model.set_objective_arrays(
+            linearisation.objective_sense, positions[nonzero], objective_values[nonzero]
+        )
 
         solution = self.solver.solve(model)
         self._absorb_solver_stats(solution)
@@ -360,6 +406,33 @@ class SketchRefineEvaluator:
         self.last_stats.solver_lp_solves += stats.lp_solves
         self.last_stats.solver_simplex_iterations += stats.simplex_iterations
         self.last_stats.solver_warm_start_hits += stats.warm_start_hits
+
+    def _solve_with_group_basis(self, gid: int, model, stats: SketchRefineStats):
+        """Solve a refine ILP, reusing the group's basis across retries.
+
+        Backtracking re-poses the same group's refine query with identical
+        constraint structure and only shifted residual right-hand sides, so
+        the root basis of the previous attempt stays dual feasible and is
+        passed back as a warm start.  Requires a SIMPLEX-backend
+        :class:`BranchAndBoundSolver`; any other black-box solver just gets a
+        plain ``solve`` call.
+        """
+        supports_warm = (
+            isinstance(self.solver, BranchAndBoundSolver)
+            and self.solver.lp_backend is LpBackend.SIMPLEX
+            and self.solver.warm_start_lp
+        )
+        if not supports_warm:
+            return self.solver.solve(model)
+        cached = self._refine_basis.get(gid)
+        if cached is not None:
+            stats.refine_retry_warm_starts += 1
+            solution = self.solver.solve(model, warm_start=WarmStart(basis=cached))
+        else:
+            solution = self.solver.solve(model)
+        if solution.root_basis is not None:
+            self._refine_basis[gid] = solution.root_basis
+        return solution
 
     @staticmethod
     def _sketch_objective(
@@ -484,13 +557,15 @@ class SketchRefineEvaluator:
 
         # Contribution of the fixed part p̄_j: refined groups' tuples plus the
         # other unrefined groups' representatives at their sketch multiplicities.
-        fixed_constraint = np.zeros(len(linearisation.constraint_rows))
+        fixed_constraint = np.zeros(linearisation.num_constraints)
         for other_gid, assignment in assignments.items():
-            if other_gid == gid:
+            if other_gid == gid or not assignment:
                 continue
-            for row, multiplicity in assignment.items():
-                for row_number, constraint_row in enumerate(linearisation.constraint_rows):
-                    fixed_constraint[row_number] += constraint_row.coefficients[row] * multiplicity
+            fixed_rows = np.fromiter(assignment.keys(), dtype=np.int64, count=len(assignment))
+            multiplicities = np.fromiter(
+                assignment.values(), dtype=np.float64, count=len(assignment)
+            )
+            fixed_constraint += linearisation.constraint_matrix[:, fixed_rows] @ multiplicities
         for other_gid in pending:
             if other_gid == gid or other_gid in assignments:
                 continue
@@ -503,25 +578,27 @@ class SketchRefineEvaluator:
             upper = float(per_tuple_cap) if per_tuple_cap is not None else None
             model.add_variable(f"t_{int(row)}", 0.0, upper)
 
+        positions = np.arange(len(rows))
+        group_matrix = linearisation.constraint_matrix[:, rows]
         for row_number, constraint_row in enumerate(linearisation.constraint_rows):
-            coefficients = {
-                position: float(constraint_row.coefficients[row])
-                for position, row in enumerate(rows)
-                if constraint_row.coefficients[row]
-            }
+            row_values = group_matrix[row_number]
+            nonzero = np.nonzero(row_values)[0]
             residual = constraint_row.rhs - fixed_constraint[row_number]
-            model.add_constraint(
-                coefficients, constraint_row.sense, residual, name=constraint_row.name
+            model.add_constraint_arrays(
+                positions[nonzero],
+                row_values[nonzero],
+                constraint_row.sense,
+                residual,
+                name=constraint_row.name,
             )
 
-        objective = {
-            position: float(linearisation.objective_coefficients[row])
-            for position, row in enumerate(rows)
-            if linearisation.objective_coefficients[row]
-        }
-        model.set_objective(linearisation.objective_sense, objective)
+        objective_values = linearisation.objective_coefficients[rows]
+        nonzero = np.nonzero(objective_values)[0]
+        model.set_objective_arrays(
+            linearisation.objective_sense, positions[nonzero], objective_values[nonzero]
+        )
 
-        solution = self.solver.solve(model)
+        solution = self._solve_with_group_basis(gid, model, stats)
         self._absorb_solver_stats(solution)
         if solution.status is SolverStatus.INFEASIBLE:
             return None

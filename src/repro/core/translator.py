@@ -265,10 +265,20 @@ def _add_constraint(
 ) -> None:
     name = constraint.name or f"global_{number}"
     for linear_row in constraint_linear_rows(table, rows, constraint, name):
-        sparse = {k: float(c) for k, c in enumerate(linear_row.coefficients)}
-        model.add_constraint(sparse, linear_row.sense, linear_row.rhs, name=linear_row.name)
+        # Feed the per-tuple coefficient vector in as (index, value) triplets:
+        # no intermediate dict, so a DIRECT translation of 10^5 candidate
+        # tuples stays a pair of O(nnz) arrays per constraint.
+        nonzero = np.nonzero(linear_row.coefficients)[0]
+        model.add_constraint_arrays(
+            nonzero,
+            linear_row.coefficients[nonzero],
+            linear_row.sense,
+            linear_row.rhs,
+            name=linear_row.name,
+        )
 
 
 def _set_objective(model: IlpModel, table: Table, rows: np.ndarray, query: PackageQuery) -> None:
     sense, coefficients = objective_linear(table, rows, query)
-    model.set_objective(sense, {k: float(c) for k, c in enumerate(coefficients)})
+    nonzero = np.nonzero(coefficients)[0]
+    model.set_objective_arrays(sense, nonzero, coefficients[nonzero])

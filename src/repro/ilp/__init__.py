@@ -21,6 +21,7 @@ an equivalent black box implemented from scratch:
   attributes" mitigation of false infeasibility).
 """
 
+from repro.ilp.matrix_form import DenseForm, MatrixForm
 from repro.ilp.model import Constraint, ConstraintSense, IlpModel, Objective, ObjectiveSense, Variable
 from repro.ilp.status import SolveStats, SolverStatus, Solution
 from repro.ilp.lp_backend import LpBackend, WarmStart, solve_lp
@@ -31,6 +32,8 @@ from repro.ilp.iis import find_iis
 
 __all__ = [
     "IlpModel",
+    "MatrixForm",
+    "DenseForm",
     "Variable",
     "Constraint",
     "ConstraintSense",

@@ -15,17 +15,24 @@ depth-first option for memory-constrained runs.  A rounding heuristic tries
 to convert fractional relaxations into incumbents early, which greatly speeds
 up the package-query instances (0/1-style multiplicity variables).
 
-**Basis reuse.**  The model is densified exactly once per solve (and the
+**Basis reuse.**  The model is exported to its (sparse-first)
+:class:`~repro.ilp.matrix_form.MatrixForm` exactly once per solve (and the
 model itself memoizes that export); every node shares the same objective and
-constraint matrices and differs only in its bounds vectors, materialised via
-:meth:`~repro.ilp.model.DenseForm.with_bounds` without copying.  With the
-SIMPLEX backend, each node also records the optimal basis of its LP
-relaxation and hands it to its children: a child differs from its parent by
-one tightened variable bound, so the child's LP is reoptimised with a few
-dual-simplex pivots from the parent basis instead of a cold two-phase solve.
-``SolveStats.warm_start_hits`` / ``simplex_iterations`` expose how often that
+constraint buffers and differs only in its bounds vectors, materialised via
+:meth:`~repro.ilp.matrix_form.MatrixForm.with_bounds` without copying — the
+simplex's assembled working matrix rides along in the shared form cache, so
+the whole tree prices against one copy.  With the SIMPLEX backend, each node
+also records the optimal basis of its LP relaxation and hands it to its
+children: a child differs from its parent by one tightened variable bound, so
+the child's LP is reoptimised with a few dual-simplex pivots from the parent
+basis instead of a cold two-phase solve.  A caller holding a basis from a
+related earlier solve (same matrix shape) can seed the *root* node the same
+way through the ``warm_start`` argument of :meth:`BranchAndBoundSolver.solve`,
+and the root relaxation's own basis is exported on the returned
+:attr:`~repro.ilp.status.Solution.root_basis` for the next related solve.
+``SolveStats.warm_start_hits`` / ``simplex_iterations`` expose how often the
 fast path is taken.  The HiGHS backend solves every node cold (SciPy exposes
-no basis interface) but still benefits from the shared dense form.
+no basis interface) but still benefits from the shared matrix form.
 
 ``SolverLimits`` intentionally includes ``max_variables``: CPLEX loads the
 entire problem in memory and the paper's Figure 5 shows DIRECT failing on
@@ -43,8 +50,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.ilp.lp_backend import LpBackend, LpResult, WarmStart, solve_lp_dense
-from repro.ilp.model import ConstraintSense, DenseForm, IlpModel, ObjectiveSense
+from repro.ilp.lp_backend import LpBackend, LpResult, WarmStart, solve_lp_form
+from repro.ilp.matrix_form import MatrixForm
+from repro.ilp.model import ConstraintSense, IlpModel, ObjectiveSense
 from repro.ilp.simplex import SimplexBasis
 from repro.ilp.status import Solution, SolveStats, SolverStatus
 
@@ -125,26 +133,31 @@ class BranchAndBoundSolver:
 
     # -- public API ----------------------------------------------------------------
 
-    def solve(self, model: IlpModel) -> Solution:
-        """Solve ``model`` to optimality (or until a limit is hit)."""
+    def solve(self, model: IlpModel, warm_start: WarmStart | None = None) -> Solution:
+        """Solve ``model`` to optimality (or until a limit is hit).
+
+        ``warm_start`` optionally seeds the *root* LP relaxation with a basis
+        from a related earlier solve (same constraint-matrix shape, e.g. a
+        SKETCHREFINE backtracking retry); only the SIMPLEX backend consumes
+        it, and a stale basis silently falls back to a cold solve.
+        """
         stats = SolveStats()
         capacity_status = self._check_capacity(model)
         if capacity_status is not None:
             return Solution.failure(capacity_status, stats)
 
         start = time.perf_counter()
-        dense = model.to_dense()
+        form = model.to_matrix()
         n = model.num_variables
 
         if n == 0:
             # Degenerate: empty model is trivially feasible with empty assignment.
             return Solution(SolverStatus.OPTIMAL, np.empty(0), 0.0, stats)
 
-        integer_mask = np.array([v.is_integer for v in model.variables], dtype=bool)
-        root_lower = np.array([v.lower for v in model.variables], dtype=np.float64)
-        root_upper = np.array(
-            [np.inf if v.upper is None else v.upper for v in model.variables], dtype=np.float64
-        )
+        lower, upper, integer_mask = model.bound_and_integrality_arrays()
+        # Nodes mutate their bounds copies; the model's arrays are shared.
+        root_lower = lower.copy()
+        root_upper = upper.copy()
 
         sense = model.objective.sense
         incumbent: np.ndarray | None = None
@@ -156,29 +169,36 @@ class BranchAndBoundSolver:
 
         counter = itertools.count()
         heap: list[_Node] = []
+        root_seed = warm_start.basis if (warm_start is not None and self.warm_start_lp) else None
         root = _Node(priority=0.0, sequence=next(counter), depth=0,
-                     lower_bounds=root_lower, upper_bounds=root_upper)
+                     lower_bounds=root_lower, upper_bounds=root_upper,
+                     parent_basis=root_seed)
         heapq.heappush(heap, root)
+        root_basis: SimplexBasis | None = None
 
         while heap:
             elapsed = time.perf_counter() - start
             if elapsed > self.limits.time_limit_seconds:
                 return self._finish(
-                    SolverStatus.TIME_LIMIT, incumbent, incumbent_value, model, stats, start
+                    SolverStatus.TIME_LIMIT, incumbent, incumbent_value, model, stats, start,
+                    root_basis,
                 )
             if stats.nodes_explored >= self.limits.node_limit:
                 return self._finish(
-                    SolverStatus.TIME_LIMIT, incumbent, incumbent_value, model, stats, start
+                    SolverStatus.TIME_LIMIT, incumbent, incumbent_value, model, stats, start,
+                    root_basis,
                 )
 
             node = heapq.heappop(heap)
             stats.nodes_explored += 1
 
-            lp_result = self._solve_node_lp(dense, node)
+            lp_result = self._solve_node_lp(form, node)
             stats.lp_solves += 1
             stats.simplex_iterations += lp_result.iterations
             if lp_result.warm_start_used:
                 stats.warm_start_hits += 1
+            if node.depth == 0 and lp_result.basis is not None:
+                root_basis = lp_result.basis
 
             if lp_result.status is SolverStatus.INFEASIBLE:
                 continue
@@ -259,8 +279,12 @@ class BranchAndBoundSolver:
         if incumbent is None:
             # The search tree was exhausted without finding any integral point.
             stats.wall_time_seconds = time.perf_counter() - start
-            return Solution.infeasible(stats)
-        return self._finish(SolverStatus.OPTIMAL, incumbent, incumbent_value, model, stats, start)
+            solution = Solution.infeasible(stats)
+            solution.root_basis = root_basis
+            return solution
+        return self._finish(
+            SolverStatus.OPTIMAL, incumbent, incumbent_value, model, stats, start, root_basis
+        )
 
     # -- internals ---------------------------------------------------------------------
 
@@ -272,8 +296,8 @@ class BranchAndBoundSolver:
             return SolverStatus.CAPACITY_EXCEEDED
         return None
 
-    def _solve_node_lp(self, dense: DenseForm, node: _Node) -> LpResult:
-        node_dense = dense.with_bounds(node.lower_bounds, node.upper_bounds)
+    def _solve_node_lp(self, form: MatrixForm, node: _Node) -> LpResult:
+        node_form = form.with_bounds(node.lower_bounds, node.upper_bounds)
         warm = None
         if (
             self.warm_start_lp
@@ -281,7 +305,7 @@ class BranchAndBoundSolver:
             and self.lp_backend is LpBackend.SIMPLEX
         ):
             warm = WarmStart(basis=node.parent_basis)
-        return solve_lp_dense(node_dense, self.lp_backend, warm_start=warm)
+        return solve_lp_form(node_form, self.lp_backend, warm_start=warm)
 
     @staticmethod
     def _fractional_indices(values: np.ndarray, integer_mask: np.ndarray) -> np.ndarray:
@@ -372,15 +396,19 @@ class BranchAndBoundSolver:
         model: IlpModel,
         stats: SolveStats,
         start: float,
+        root_basis: SimplexBasis | None = None,
     ) -> Solution:
         stats.wall_time_seconds = time.perf_counter() - start
         if incumbent is None:
             if status is SolverStatus.OPTIMAL:
-                return Solution.infeasible(stats)
-            return Solution.failure(status, stats)
+                solution = Solution.infeasible(stats)
+            else:
+                solution = Solution.failure(status, stats)
+            solution.root_basis = root_basis
+            return solution
         if status is SolverStatus.OPTIMAL:
             final_status = SolverStatus.OPTIMAL
         else:
             final_status = SolverStatus.FEASIBLE
         stats.gap = self._gap(model.objective.sense, stats.best_bound, incumbent_value)
-        return Solution(final_status, incumbent, incumbent_value, stats)
+        return Solution(final_status, incumbent, incumbent_value, stats, root_basis=root_basis)

@@ -9,6 +9,13 @@ variable bounds.  Two backends are provided:
   :mod:`repro.ilp.simplex`, kept as an independent implementation both for
   environments without SciPy's HiGHS and as a cross-check in the test-suite.
 
+Both consume the :class:`~repro.ilp.matrix_form.MatrixForm` IR directly:
+sparse forms hand their ``scipy.sparse`` CSR matrices straight to HiGHS (no
+densification), and the simplex assembles its working matrix once per form
+and caches it on the form, so every bounds-only
+:meth:`~repro.ilp.matrix_form.MatrixForm.with_bounds` view (read: every
+branch-and-bound node) reuses the same copy.
+
 Backend choice: HiGHS wins on large cold solves (compiled code, presolve);
 SIMPLEX wins on *sequences* of related small solves because it supports the
 basis-reuse protocol below, which SciPy's ``linprog`` interface does not
@@ -18,7 +25,7 @@ The warm-start protocol: an optimal SIMPLEX solve returns its final basis in
 :attr:`LpResult.basis`.  A caller about to solve a *related* problem (same
 constraint matrix, different bounds — e.g. a branch-and-bound child node)
 wraps that basis in a :class:`WarmStart` and passes it to
-:func:`solve_lp_dense`.  The simplex then reoptimises with dual pivots from
+:func:`solve_lp_form`.  The simplex then reoptimises with dual pivots from
 the parent basis instead of solving from scratch; a stale or invalid basis is
 detected and silently falls back to a cold solve
 (:attr:`LpResult.warm_start_used` reports what actually happened).  The
@@ -34,12 +41,13 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.errors import SolverError
-from repro.ilp.model import DenseForm, IlpModel
+from repro.ilp.matrix_form import MatrixForm
+from repro.ilp.model import IlpModel
 from repro.ilp.simplex import (
     SimplexBasis,
     SimplexResult,
     SimplexStatus,
-    solve_dense_simplex,
+    solve_form_simplex,
 )
 from repro.ilp.status import Solution, SolveStats, SolverStatus
 
@@ -84,15 +92,19 @@ class LpResult:
     warm_start_used: bool = False
 
 
-def solve_lp_dense(
-    dense: DenseForm,
+def solve_lp_form(
+    form: MatrixForm,
     backend: LpBackend = LpBackend.HIGHS,
     warm_start: WarmStart | None = None,
 ) -> LpResult:
-    """Solve the LP relaxation of a dense-form model."""
+    """Solve the LP relaxation of a matrix-form model."""
     if backend is LpBackend.HIGHS:
-        return _solve_highs(dense)
-    return _solve_simplex(dense, warm_start)
+        return _solve_highs(form)
+    return _solve_simplex(form, warm_start)
+
+
+# PR 1 name, kept for compatibility with existing callers/tests.
+solve_lp_dense = solve_lp_form
 
 
 def solve_lp(
@@ -102,11 +114,11 @@ def solve_lp(
 ) -> Solution:
     """Solve the LP relaxation of ``model`` and wrap the result as a Solution.
 
-    Uses the model's memoized dense form, so repeated relaxation solves of the
-    same model do not re-densify it.
+    Uses the model's memoized matrix form, so repeated relaxation solves of
+    the same model share one export (and one simplex working matrix).
     """
-    dense = model.to_dense()
-    result = solve_lp_dense(dense, backend, warm_start)
+    form = model.to_matrix()
+    result = solve_lp_form(form, backend, warm_start)
     stats = SolveStats(
         lp_solves=1,
         simplex_iterations=result.iterations,
@@ -122,19 +134,21 @@ def solve_lp(
     )
 
 
-def _solve_highs(dense: DenseForm) -> LpResult:
-    lower, upper = dense.bound_arrays()
+def _solve_highs(form: MatrixForm) -> LpResult:
+    lower, upper = form.bound_arrays()
+    # HiGHS accepts scipy.sparse matrices directly; a sparse form is passed
+    # through without densification.
     result = linprog(
-        c=dense.c,
-        A_ub=dense.a_ub if dense.a_ub.size else None,
-        b_ub=dense.b_ub if dense.b_ub.size else None,
-        A_eq=dense.a_eq if dense.a_eq.size else None,
-        b_eq=dense.b_eq if dense.b_eq.size else None,
-        bounds=list(zip(lower, upper)),
+        c=form.c,
+        A_ub=form.a_ub if form.a_ub.shape[0] else None,
+        b_ub=form.b_ub if form.b_ub.size else None,
+        A_eq=form.a_eq if form.a_eq.shape[0] else None,
+        b_eq=form.b_eq if form.b_eq.size else None,
+        bounds=np.column_stack([lower, upper]),
         method="highs",
     )
     if result.status == 0:
-        return LpResult(SolverStatus.OPTIMAL, np.asarray(result.x), dense.objective_from_min(result.fun))
+        return LpResult(SolverStatus.OPTIMAL, np.asarray(result.x), form.objective_from_min(result.fun))
     if result.status == 2:
         return LpResult(SolverStatus.INFEASIBLE, np.empty(0), float("nan"))
     if result.status == 3:
@@ -142,22 +156,14 @@ def _solve_highs(dense: DenseForm) -> LpResult:
     raise SolverError(f"HiGHS LP solve failed: {result.message}")
 
 
-def _solve_simplex(dense: DenseForm, warm_start: WarmStart | None = None) -> LpResult:
+def _solve_simplex(form: MatrixForm, warm_start: WarmStart | None = None) -> LpResult:
     basis = warm_start.basis if warm_start is not None else None
-    simplex_result: SimplexResult = solve_dense_simplex(
-        c=dense.c,
-        a_ub=dense.a_ub,
-        b_ub=dense.b_ub,
-        a_eq=dense.a_eq,
-        b_eq=dense.b_eq,
-        bounds=dense.bounds,
-        warm_start=basis,
-    )
+    simplex_result: SimplexResult = solve_form_simplex(form, warm_start=basis)
     if simplex_result.status is SimplexStatus.OPTIMAL:
         return LpResult(
             SolverStatus.OPTIMAL,
             simplex_result.x,
-            dense.objective_from_min(simplex_result.objective),
+            form.objective_from_min(simplex_result.objective),
             basis=simplex_result.basis,
             iterations=simplex_result.iterations,
             warm_start_used=simplex_result.warm_started,

@@ -4,9 +4,14 @@ An :class:`IlpModel` holds integer (or continuous) variables with bounds, a
 set of linear constraints and a linear objective.  The PaQL translator builds
 one of these per package (sub)query; the solvers in this package consume it.
 
-The model is deliberately solver-agnostic: it can be exported to the dense
-matrix form used by the LP backend, or to the standard ``A_ub/A_eq`` form of
-:func:`scipy.optimize.linprog`.
+Constraints and the objective store their coefficients as parallel
+``indices``/``values`` arrays (coefficient triplets), not Python dicts: a
+DIRECT translation of a large relation creates one column per candidate
+tuple, and contiguous arrays keep that affordable (a dict entry costs ~10x
+the bytes of an array entry) while making evaluation a vectorised dot
+product.  The model is deliberately solver-agnostic: :meth:`IlpModel.to_matrix`
+exports the sparse-first :class:`~repro.ilp.matrix_form.MatrixForm` IR that
+every LP/ILP backend consumes.
 """
 
 from __future__ import annotations
@@ -18,6 +23,18 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.errors import SolverError
+from repro.ilp.matrix_form import DenseForm, MatrixForm, assemble_matrix, choose_sparse
+
+__all__ = [
+    "ConstraintSense",
+    "ObjectiveSense",
+    "Variable",
+    "Constraint",
+    "Objective",
+    "IlpModel",
+    "MatrixForm",
+    "DenseForm",
+]
 
 
 class ConstraintSense(enum.Enum):
@@ -67,22 +84,87 @@ class Variable:
             )
 
 
-@dataclass
-class Constraint:
-    """A linear constraint ``sum_i coefficients[i] * x_i  <sense>  rhs``.
+def _coefficient_arrays(
+    coefficients: Mapping[int, float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert a coefficient mapping to sorted (indices, values) arrays, dropping zeros."""
+    if not coefficients:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    indices = np.fromiter(coefficients.keys(), dtype=np.int64, count=len(coefficients))
+    values = np.fromiter(coefficients.values(), dtype=np.float64, count=len(coefficients))
+    nonzero = values != 0.0
+    if not nonzero.all():
+        indices, values = indices[nonzero], values[nonzero]
+    order = np.argsort(indices, kind="stable")
+    return indices[order], values[order]
 
-    Coefficients are stored sparsely as a mapping from variable index to
-    coefficient.
+
+def _validate_arrays(
+    indices: np.ndarray, values: np.ndarray, num_variables: int, what: str
+) -> tuple[np.ndarray, np.ndarray]:
+    indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if indices.shape != values.shape:
+        raise SolverError(
+            f"{what}: indices and values have mismatched lengths "
+            f"({len(indices)} vs {len(values)})"
+        )
+    if indices.size:
+        if indices.min() < 0 or indices.max() >= num_variables:
+            raise SolverError(f"{what} references an unknown variable index")
+        if np.unique(indices).size != indices.size:
+            raise SolverError(f"{what} contains duplicate variable indices")
+    nonzero = values != 0.0
+    if not nonzero.all():
+        indices, values = indices[nonzero], values[nonzero]
+    return indices, values
+
+
+class Constraint:
+    """A linear constraint ``values · x[indices]  <sense>  rhs``.
+
+    Coefficients are stored as parallel ``indices``/``values`` arrays.  The
+    dict view :attr:`coefficients` is materialised lazily for compatibility
+    and introspection; hot paths (evaluation, matrix assembly) never touch it.
     """
 
-    name: str
-    coefficients: dict[int, float]
-    sense: ConstraintSense
-    rhs: float
+    __slots__ = ("name", "indices", "values", "sense", "rhs", "_coefficients")
+
+    def __init__(
+        self,
+        name: str,
+        coefficients: Mapping[int, float] | None,
+        sense: ConstraintSense,
+        rhs: float,
+        *,
+        indices: np.ndarray | None = None,
+        values: np.ndarray | None = None,
+    ):
+        self.name = name
+        if indices is None:
+            indices, values = _coefficient_arrays(coefficients or {})
+        self.indices = indices
+        self.values = values
+        self.sense = sense
+        self.rhs = float(rhs)
+        self._coefficients: dict[int, float] | None = None
+
+    @property
+    def coefficients(self) -> dict[int, float]:
+        """Mapping view of the coefficients (built lazily, then cached)."""
+        if self._coefficients is None:
+            self._coefficients = dict(zip(self.indices.tolist(), self.values.tolist()))
+        return self._coefficients
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
 
     def evaluate(self, values: np.ndarray) -> float:
         """Evaluate the left-hand side under a full assignment ``values``."""
-        return float(sum(coef * values[idx] for idx, coef in self.coefficients.items()))
+        if not self.indices.size:
+            return 0.0
+        return float(self.values @ values[self.indices])
 
     def is_satisfied(self, values: np.ndarray, tolerance: float = 1e-6) -> bool:
         """Whether the constraint holds under ``values`` (with tolerance)."""
@@ -102,16 +184,47 @@ class Constraint:
             return max(0.0, self.rhs - lhs)
         return abs(lhs - self.rhs)
 
+    def __repr__(self) -> str:
+        return (
+            f"Constraint(name={self.name!r}, nnz={self.nnz}, "
+            f"sense={self.sense.value!r}, rhs={self.rhs})"
+        )
 
-@dataclass
+
 class Objective:
-    """A linear objective ``optimise sum_i coefficients[i] * x_i``."""
+    """A linear objective ``optimise values · x[indices]``."""
 
-    sense: ObjectiveSense
-    coefficients: dict[int, float] = field(default_factory=dict)
+    __slots__ = ("sense", "indices", "values", "_coefficients")
+
+    def __init__(
+        self,
+        sense: ObjectiveSense,
+        coefficients: Mapping[int, float] | None = None,
+        *,
+        indices: np.ndarray | None = None,
+        values: np.ndarray | None = None,
+    ):
+        self.sense = sense
+        if indices is None:
+            indices, values = _coefficient_arrays(coefficients or {})
+        self.indices = indices
+        self.values = values
+        self._coefficients: dict[int, float] | None = None
+
+    @property
+    def coefficients(self) -> dict[int, float]:
+        """Mapping view of the coefficients (built lazily, then cached)."""
+        if self._coefficients is None:
+            self._coefficients = dict(zip(self.indices.tolist(), self.values.tolist()))
+        return self._coefficients
 
     def evaluate(self, values: np.ndarray) -> float:
-        return float(sum(coef * values[idx] for idx, coef in self.coefficients.items()))
+        if not self.indices.size:
+            return 0.0
+        return float(self.values @ values[self.indices])
+
+    def __repr__(self) -> str:
+        return f"Objective(sense={self.sense.value!r}, nnz={self.indices.size})"
 
 
 class IlpModel:
@@ -130,8 +243,12 @@ class IlpModel:
         self.variables: list[Variable] = []
         self.constraints: list[Constraint] = []
         self.objective = Objective(ObjectiveSense.MINIMIZE, {})
-        self._names: set[str] = set()
-        self._dense_cache: "DenseForm | None" = None
+        #: Storage override for :meth:`to_matrix`: ``True`` forces CSR,
+        #: ``False`` forces dense, ``None`` (default) decides by size/density.
+        self.sparse_matrix: bool | None = None
+        self._names: dict[str, Variable] = {}
+        self._matrix_cache: dict[bool, MatrixForm] = {}
+        self._variable_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -147,8 +264,8 @@ class IlpModel:
             raise SolverError(f"duplicate variable name: {name!r}")
         variable = Variable(name, lower, upper, is_integer, index=len(self.variables))
         self.variables.append(variable)
-        self._names.add(name)
-        self._dense_cache = None
+        self._names[name] = variable
+        self._invalidate()
         return variable
 
     def add_constraint(
@@ -159,25 +276,69 @@ class IlpModel:
         name: str | None = None,
     ) -> Constraint:
         """Add a linear constraint over variable indices."""
-        cleaned = {int(i): float(c) for i, c in coefficients.items() if c != 0.0}
-        for idx in cleaned:
-            if not 0 <= idx < len(self.variables):
-                raise SolverError(f"constraint references unknown variable index {idx}")
+        indices, values = _coefficient_arrays(
+            {int(i): float(c) for i, c in coefficients.items()}
+        )
+        if indices.size and (indices.min() < 0 or indices.max() >= len(self.variables)):
+            raise SolverError("constraint references unknown variable index")
         constraint = Constraint(
-            name or f"c{len(self.constraints)}", cleaned, sense, float(rhs)
+            name or f"c{len(self.constraints)}",
+            None,
+            sense,
+            float(rhs),
+            indices=indices,
+            values=values,
         )
         self.constraints.append(constraint)
-        self._dense_cache = None
+        self._invalidate()
+        return constraint
+
+    def add_constraint_arrays(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        sense: ConstraintSense,
+        rhs: float,
+        name: str | None = None,
+    ) -> Constraint:
+        """Add a constraint from parallel coefficient arrays (the fast path).
+
+        ``indices`` must be unique; zero coefficients are dropped.  This is
+        how the PaQL translator feeds per-tuple coefficient vectors into the
+        model without materialising intermediate dicts.
+        """
+        indices, values = _validate_arrays(
+            indices, values, len(self.variables), f"constraint {name or len(self.constraints)}"
+        )
+        constraint = Constraint(
+            name or f"c{len(self.constraints)}",
+            None,
+            sense,
+            float(rhs),
+            indices=indices,
+            values=values,
+        )
+        self.constraints.append(constraint)
+        self._invalidate()
         return constraint
 
     def set_objective(self, sense: ObjectiveSense, coefficients: Mapping[int, float]) -> None:
         """Set the linear objective.  An empty mapping yields a feasibility problem."""
-        cleaned = {int(i): float(c) for i, c in coefficients.items() if c != 0.0}
-        for idx in cleaned:
-            if not 0 <= idx < len(self.variables):
-                raise SolverError(f"objective references unknown variable index {idx}")
-        self.objective = Objective(sense, cleaned)
-        self._dense_cache = None
+        indices, values = _coefficient_arrays(
+            {int(i): float(c) for i, c in coefficients.items()}
+        )
+        if indices.size and (indices.min() < 0 or indices.max() >= len(self.variables)):
+            raise SolverError("objective references unknown variable index")
+        self.objective = Objective(sense, None, indices=indices, values=values)
+        self._invalidate()
+
+    def set_objective_arrays(
+        self, sense: ObjectiveSense, indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Set the objective from parallel coefficient arrays (the fast path)."""
+        indices, values = _validate_arrays(indices, values, len(self.variables), "objective")
+        self.objective = Objective(sense, None, indices=indices, values=values)
+        self._invalidate()
 
     # -- introspection -----------------------------------------------------------
 
@@ -190,32 +351,53 @@ class IlpModel:
         return len(self.constraints)
 
     @property
+    def constraint_nnz(self) -> int:
+        """Structural non-zeros across all constraints."""
+        return sum(c.nnz for c in self.constraints)
+
+    @property
     def is_pure_feasibility(self) -> bool:
-        return not self.objective.coefficients
+        return self.objective.indices.size == 0
 
     def variable_by_name(self, name: str) -> Variable:
-        for variable in self.variables:
-            if variable.name == name:
-                return variable
-        raise SolverError(f"variable {name!r} not found")
+        """O(1) lookup of a variable by its unique name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise SolverError(f"variable {name!r} not found") from None
 
     def objective_value(self, values: np.ndarray) -> float:
         """Evaluate the objective under a full assignment."""
         return self.objective.evaluate(values)
+
+    def bound_and_integrality_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(lower, upper, is_integer)`` arrays over all variables (memoized).
+
+        ``upper`` uses ``+inf`` for unbounded variables.  The arrays are
+        shared — treat them as read-only.
+        """
+        if self._variable_arrays is None:
+            n = len(self.variables)
+            lower = np.empty(n)
+            upper = np.empty(n)
+            is_integer = np.empty(n, dtype=bool)
+            for j, variable in enumerate(self.variables):
+                lower[j] = variable.lower
+                upper[j] = np.inf if variable.upper is None else variable.upper
+                is_integer[j] = variable.is_integer
+            self._variable_arrays = (lower, upper, is_integer)
+        return self._variable_arrays
 
     def check_feasible(self, values: np.ndarray, tolerance: float = 1e-6) -> bool:
         """Whether ``values`` satisfies all bounds, integrality and constraints."""
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (self.num_variables,):
             return False
-        for variable in self.variables:
-            v = values[variable.index]
-            if v < variable.lower - tolerance:
-                return False
-            if variable.upper is not None and v > variable.upper + tolerance:
-                return False
-            if variable.is_integer and abs(v - round(v)) > tolerance:
-                return False
+        lower, upper, is_integer = self.bound_and_integrality_arrays()
+        if np.any(values < lower - tolerance) or np.any(values > upper + tolerance):
+            return False
+        if np.any(is_integer & (np.abs(values - np.rint(values)) > tolerance)):
+            return False
         return all(c.is_satisfied(values, tolerance) for c in self.constraints)
 
     def total_violation(self, values: np.ndarray) -> float:
@@ -224,59 +406,100 @@ class IlpModel:
 
     # -- export -------------------------------------------------------------------
 
-    def to_dense(self) -> "DenseForm":
-        """Export to dense ``A_ub x <= b_ub``, ``A_eq x = b_eq`` matrices.
+    def to_matrix(self, sparse: bool | None = None) -> MatrixForm:
+        """Export to the :class:`MatrixForm` IR (``A_ub x <= b_ub``, ``A_eq x = b_eq``).
 
-        The export is memoized: repeated calls return the same
-        :class:`DenseForm` instance until the model is mutated through
+        Assembly is O(nnz): per-constraint coefficient arrays are concatenated
+        into triplets and handed to the CSR builder (or scattered into a dense
+        array for tiny/dense models — see :mod:`repro.ilp.matrix_form` for the
+        fallback policy).  ``sparse`` overrides that policy; ``None`` defers to
+        :attr:`sparse_matrix` and then to the automatic choice.
+
+        The export is memoized per storage kind: repeated calls return the
+        same :class:`MatrixForm` instance until the model is mutated through
         :meth:`add_variable`, :meth:`add_constraint` or :meth:`set_objective`.
         Callers must treat the returned arrays as read-only (branch-and-bound
         shares them across every node, varying only the bounds).  Code that
         mutates a :class:`Variable` or :class:`Constraint` in place must call
-        :meth:`invalidate_dense_cache` afterwards.
+        :meth:`invalidate_matrix_cache` afterwards.
         """
-        if self._dense_cache is None:
-            self._dense_cache = self._build_dense()
-        return self._dense_cache
+        if sparse is None:
+            sparse = self.sparse_matrix
+        if sparse is None:
+            entries = self.num_constraints * self.num_variables
+            sparse = choose_sparse(entries, self.constraint_nnz)
+        cached = self._matrix_cache.get(sparse)
+        if cached is None:
+            cached = self._build_matrix(sparse)
+            self._matrix_cache[sparse] = cached
+        return cached
 
-    def invalidate_dense_cache(self) -> None:
-        """Drop the memoized dense export (needed after in-place mutation)."""
-        self._dense_cache = None
+    def to_dense(self) -> MatrixForm:
+        """Backward-compatible alias for :meth:`to_matrix` (automatic storage)."""
+        return self.to_matrix()
 
-    def _build_dense(self) -> "DenseForm":
+    def invalidate_matrix_cache(self) -> None:
+        """Drop the memoized matrix export (needed after in-place mutation)."""
+        self._matrix_cache = {}
+        self._variable_arrays = None
+
+    # PR 1 name, kept for compatibility.
+    invalidate_dense_cache = invalidate_matrix_cache
+
+    def _invalidate(self) -> None:
+        self.invalidate_matrix_cache()
+
+    def _build_matrix(self, make_sparse: bool) -> MatrixForm:
         n = self.num_variables
-        ub_rows: list[np.ndarray] = []
+        ub_cols: list[np.ndarray] = []
+        ub_data: list[np.ndarray] = []
         ub_rhs: list[float] = []
-        eq_rows: list[np.ndarray] = []
+        eq_cols: list[np.ndarray] = []
+        eq_data: list[np.ndarray] = []
         eq_rhs: list[float] = []
         for constraint in self.constraints:
-            row = np.zeros(n)
-            for idx, coef in constraint.coefficients.items():
-                row[idx] = coef
             if constraint.sense is ConstraintSense.LE:
-                ub_rows.append(row)
+                ub_cols.append(constraint.indices)
+                ub_data.append(constraint.values)
                 ub_rhs.append(constraint.rhs)
             elif constraint.sense is ConstraintSense.GE:
-                ub_rows.append(-row)
+                ub_cols.append(constraint.indices)
+                ub_data.append(-constraint.values)
                 ub_rhs.append(-constraint.rhs)
             else:
-                eq_rows.append(row)
+                eq_cols.append(constraint.indices)
+                eq_data.append(constraint.values)
                 eq_rhs.append(constraint.rhs)
 
+        def build(cols: list[np.ndarray], data: list[np.ndarray]):
+            num_rows = len(cols)
+            if not num_rows:
+                return assemble_matrix(
+                    0, n,
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0),
+                    make_sparse,
+                )
+            lengths = [len(c) for c in cols]
+            row_ids = np.repeat(np.arange(num_rows, dtype=np.int64), lengths)
+            col_ids = np.concatenate(cols) if cols else np.empty(0, dtype=np.int64)
+            values = np.concatenate(data) if data else np.empty(0)
+            return assemble_matrix(num_rows, n, row_ids, col_ids, values, make_sparse)
+
         objective = np.zeros(n)
-        for idx, coef in self.objective.coefficients.items():
-            objective[idx] = coef
+        objective[self.objective.indices] = self.objective.values
         if self.objective.sense is ObjectiveSense.MAXIMIZE:
             objective = -objective
 
         bounds = [
             (v.lower, v.upper if v.upper is not None else None) for v in self.variables
         ]
-        return DenseForm(
+        return MatrixForm(
             c=objective,
-            a_ub=np.array(ub_rows) if ub_rows else np.empty((0, n)),
+            a_ub=build(ub_cols, ub_data),
             b_ub=np.array(ub_rhs),
-            a_eq=np.array(eq_rows) if eq_rows else np.empty((0, n)),
+            a_eq=build(eq_cols, eq_data),
             b_eq=np.array(eq_rhs),
             bounds=bounds,
             maximize=self.objective.sense is ObjectiveSense.MAXIMIZE,
@@ -288,71 +511,22 @@ class IlpModel:
         for variable in self.variables:
             clone.add_variable(variable.name, variable.lower, variable.upper, variable.is_integer)
         for constraint in self.constraints:
-            clone.add_constraint(
-                dict(constraint.coefficients), constraint.sense, constraint.rhs, name=constraint.name
+            clone.add_constraint_arrays(
+                constraint.indices.copy(),
+                constraint.values.copy(),
+                constraint.sense,
+                constraint.rhs,
+                name=constraint.name,
             )
-        clone.set_objective(self.objective.sense, dict(self.objective.coefficients))
+        clone.set_objective_arrays(
+            self.objective.sense,
+            self.objective.indices.copy(),
+            self.objective.values.copy(),
+        )
         return clone
 
     def __repr__(self) -> str:
         return (
             f"IlpModel(name={self.name!r}, variables={self.num_variables}, "
             f"constraints={self.num_constraints}, sense={self.objective.sense.value})"
-        )
-
-
-@dataclass
-class DenseForm:
-    """Dense matrix export of an :class:`IlpModel` (always a minimisation).
-
-    ``bounds`` is either the list-of-pairs form produced by
-    :meth:`IlpModel.to_dense` (``None`` meaning unbounded) or a
-    ``(lower_array, upper_array)`` pair using ``±inf`` — the latter is what
-    branch-and-bound uses to derive per-node forms without copying the
-    matrices (see :meth:`with_bounds`).
-    """
-
-    c: np.ndarray
-    a_ub: np.ndarray
-    b_ub: np.ndarray
-    a_eq: np.ndarray
-    b_eq: np.ndarray
-    bounds: "list[tuple[float, float | None]] | tuple[np.ndarray, np.ndarray]"
-    maximize: bool
-
-    def objective_from_min(self, min_value: float) -> float:
-        """Convert the minimised objective value back to the model's sense."""
-        return -min_value if self.maximize else min_value
-
-    def bound_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Bounds as ``(lower, upper)`` float arrays using ``±inf``.
-
-        Always returns fresh arrays: the tuple form aliases bounds that may be
-        shared across branch-and-bound nodes, so handing out the live arrays
-        would let a caller silently corrupt sibling nodes.
-        """
-        if isinstance(self.bounds, tuple):
-            return self.bounds[0].copy(), self.bounds[1].copy()
-        n = len(self.c)
-        lower = np.empty(n)
-        upper = np.empty(n)
-        for j, (low, up) in enumerate(self.bounds):
-            lower[j] = -np.inf if low is None else low
-            upper[j] = np.inf if up is None else up
-        return lower, upper
-
-    def with_bounds(self, lower: np.ndarray, upper: np.ndarray) -> "DenseForm":
-        """A view of this form with different variable bounds.
-
-        The objective and constraint arrays are shared, not copied — this is
-        the cheap path branch-and-bound uses to materialise a child node.
-        """
-        return DenseForm(
-            c=self.c,
-            a_ub=self.a_ub,
-            b_ub=self.b_ub,
-            a_eq=self.a_eq,
-            b_eq=self.b_eq,
-            bounds=(lower, upper),
-            maximize=self.maximize,
         )

@@ -5,22 +5,29 @@ HiGHS backend.  Unlike the dense tableau method it replaced, it is built for
 the workload SKETCHREFINE and branch-and-bound actually generate: *many small
 LPs that differ from each other by a single variable bound*.
 
-Three design points make repeated solves cheap:
+Four design points make repeated solves cheap:
 
 * **Native bound handling.**  Per-variable lower/upper bounds are represented
   as nonbasic-at-bound statuses (``AT_LOWER`` / ``AT_UPPER``), not as extra
   constraint rows.  A 0/1-multiplicity package query with ``m`` global
   constraints works with an ``m × m`` basis instead of an ``(m + n) × (m + n)``
   tableau.
-* **Basis export.**  Every optimal solve returns a :class:`SimplexBasis`
-  (basic column set + per-column statuses) in :class:`SimplexResult`, which a
-  later solve of a *related* problem can consume as a warm start.
-* **Dual-simplex reoptimisation.**  Warm starts re-enter through the dual
-  simplex: a branch-and-bound child differs from its parent by one tightened
-  bound, so the parent's optimal basis stays dual feasible and typically only
-  a handful of dual pivots restore primal feasibility.  Invalid or stale bases
-  are detected (shape mismatch, singular basis matrix, unrestorable dual
-  feasibility) and fall back to a cold two-phase solve.
+* **One working matrix per problem, not per solve.**  The standard-form
+  matrix ``[A | I_slack | I_art]`` is assembled once into a
+  :class:`_WorkMatrix` and cached on the :class:`~repro.ilp.matrix_form
+  .MatrixForm` (see :func:`solve_form_simplex`), so the thousands of
+  bound-only reoptimisations of a branch-and-bound tree share a single
+  immutable copy instead of re-filling an ``m × (n + mu + m)`` array per node.
+* **Sparse column storage.**  When the model's matrix form is sparse, the
+  working matrix is kept in CSC (``data``/``indices``/``indptr``): pricing is
+  a CSR transpose mat-vec, and FTRAN of the entering column touches only the
+  ``b_inv`` columns matching the structural non-zeros.  Dense models keep the
+  dense fast path — the representation follows the form's own storage choice.
+* **Basis export + dual-simplex reoptimisation.**  Every optimal solve
+  returns a :class:`SimplexBasis` which a later solve of a *related* problem
+  consumes as a warm start, re-entering through the dual simplex.  Invalid or
+  stale bases are detected (shape mismatch, singular basis matrix,
+  unrestorable dual feasibility) and fall back to a cold two-phase solve.
 
 The cold path is the classic two-phase method in revised form: phase 1
 minimises signed artificial infeasibilities, phase 2 the true objective.
@@ -39,6 +46,9 @@ import enum
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse as sp
+
+from repro.ilp.matrix_form import MatrixForm
 
 _EPSILON = 1e-9
 _PIVOT_EPSILON = 1e-10
@@ -54,6 +64,8 @@ BASIC = 0
 AT_LOWER = 1
 AT_UPPER = 2
 FREE = 3
+
+_WORK_CACHE_KEY = "simplex_work"
 
 
 class SimplexStatus(enum.Enum):
@@ -112,6 +124,85 @@ class SimplexResult:
     warm_started: bool = False
 
 
+class _WorkMatrix:
+    """Standard-form working matrix ``[A | I_slack | I_art]``, built once.
+
+    Immutable after construction and safe to share across solves: branch-and-
+    bound nodes differ only in bounds, so they all price and FTRAN against the
+    same copy.  ``sparse`` mirrors the storage of the structural input — CSC
+    (with a CSR transpose view for pricing) or one dense array.
+    """
+
+    __slots__ = (
+        "n", "mu", "me", "m", "ncols", "art0", "b", "costs", "sparse",
+        "a", "a_csc", "at", "indptr", "indices", "data",
+    )
+
+    def __init__(self, c, a_ub, b_ub, a_eq, b_eq):
+        c = np.asarray(c, dtype=np.float64)
+        n = len(c)
+        sparse_input = sp.issparse(a_ub) or sp.issparse(a_eq)
+        if not sp.issparse(a_ub):
+            a_ub = (
+                np.asarray(a_ub, dtype=np.float64).reshape(-1, n)
+                if np.size(a_ub)
+                else np.empty((0, n))
+            )
+        if not sp.issparse(a_eq):
+            a_eq = (
+                np.asarray(a_eq, dtype=np.float64).reshape(-1, n)
+                if np.size(a_eq)
+                else np.empty((0, n))
+            )
+        b_ub = np.asarray(b_ub, dtype=np.float64).reshape(-1)
+        b_eq = np.asarray(b_eq, dtype=np.float64).reshape(-1)
+
+        mu, me = a_ub.shape[0], a_eq.shape[0]
+        m = mu + me
+        ncols = n + mu + m
+
+        self.n, self.mu, self.me, self.m, self.ncols = n, mu, me, m, ncols
+        self.art0 = n + mu
+        self.b = np.concatenate([b_ub, b_eq])
+        self.costs = np.zeros(ncols)
+        self.costs[:n] = c
+        self.sparse = bool(sparse_input and m)
+
+        if self.sparse:
+            structural = sp.vstack(
+                [sp.csr_matrix(a_ub), sp.csr_matrix(a_eq)], format="csr"
+            )
+            slack = sp.vstack([sp.identity(mu, format="csr"), sp.csr_matrix((me, mu))])
+            art = sp.identity(m, format="csr")
+            a_csc = sp.hstack([structural, slack, art], format="csc")
+            a_csc.sort_indices()
+            self.a = None
+            self.a_csc = a_csc
+            self.at = a_csc.T.tocsr()
+            self.indptr = a_csc.indptr
+            self.indices = a_csc.indices
+            self.data = a_csc.data
+        else:
+            work = np.zeros((m, ncols))
+            if sp.issparse(a_ub):
+                a_ub = a_ub.toarray()
+            if sp.issparse(a_eq):
+                a_eq = a_eq.toarray()
+            if mu:
+                work[:mu, :n] = a_ub
+                work[:mu, n : n + mu] = np.eye(mu)
+            if me:
+                work[mu:, :n] = a_eq
+            if m:
+                work[:, n + mu :] = np.eye(m)
+            self.a = work
+            self.a_csc = None
+            self.at = None
+            self.indptr = None
+            self.indices = None
+            self.data = None
+
+
 def solve_dense_simplex(
     c: np.ndarray,
     a_ub: np.ndarray,
@@ -123,12 +214,32 @@ def solve_dense_simplex(
 ) -> SimplexResult:
     """Minimise ``c @ x`` subject to the given constraints and bounds.
 
+    ``a_ub``/``a_eq`` may be dense arrays or ``scipy.sparse`` matrices.
     ``bounds`` is either a list of ``(lower, upper)`` pairs (``None`` meaning
     unbounded) or a ``(lower_array, upper_array)`` pair using ``±inf``.
     ``warm_start`` optionally reuses a basis from a related earlier solve.
+    Callers solving many related problems over the same matrix should prefer
+    :func:`solve_form_simplex`, which assembles the working matrix only once.
     """
-    solver = _BoundedRevisedSimplex(c, a_ub, b_ub, a_eq, b_eq, bounds)
-    return solver.solve(warm_start)
+    work = _WorkMatrix(c, a_ub, b_ub, a_eq, b_eq)
+    return _BoundedRevisedSimplex(work, bounds).solve(warm_start)
+
+
+def solve_form_simplex(
+    form: MatrixForm, warm_start: SimplexBasis | None = None
+) -> SimplexResult:
+    """Solve a :class:`MatrixForm` LP, reusing its cached working matrix.
+
+    The assembled :class:`_WorkMatrix` is memoized in ``form.cache``, which
+    every :meth:`~repro.ilp.matrix_form.MatrixForm.with_bounds` view shares —
+    so a whole branch-and-bound tree pays the standard-form assembly exactly
+    once.
+    """
+    work = form.cache.get(_WORK_CACHE_KEY)
+    if work is None:
+        work = _WorkMatrix(form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq)
+        form.cache[_WORK_CACHE_KEY] = work
+    return _BoundedRevisedSimplex(work, form.bounds).solve(warm_start)
 
 
 def _normalise_bounds(bounds, n: int) -> tuple[np.ndarray, np.ndarray]:
@@ -154,46 +265,20 @@ class _BoundedRevisedSimplex:
     Internal standard form: ``A_work y = b`` over ``n`` structural columns,
     ``mu`` slack columns (bounds ``[0, inf)``) and ``m = mu + me`` artificial
     identity columns (bounds ``[0, 0]`` except while phase 1 relaxes them).
+    The working matrix is shared and immutable; everything mutable (bounds,
+    statuses, basis inverse) is per-solve state.
     """
 
-    def __init__(self, c, a_ub, b_ub, a_eq, b_eq, bounds):
-        c = np.asarray(c, dtype=np.float64)
-        n = len(c)
-        a_ub = (
-            np.asarray(a_ub, dtype=np.float64).reshape(-1, n)
-            if np.size(a_ub)
-            else np.empty((0, n))
-        )
-        b_ub = np.asarray(b_ub, dtype=np.float64).reshape(-1)
-        a_eq = (
-            np.asarray(a_eq, dtype=np.float64).reshape(-1, n)
-            if np.size(a_eq)
-            else np.empty((0, n))
-        )
-        b_eq = np.asarray(b_eq, dtype=np.float64).reshape(-1)
+    def __init__(self, work: _WorkMatrix, bounds):
+        self.work = work
+        self.n, self.mu, self.me = work.n, work.mu, work.me
+        self.m, self.ncols, self.art0 = work.m, work.ncols, work.art0
+        self.b = work.b
+        self.costs = work.costs
 
-        mu, me = a_ub.shape[0], a_eq.shape[0]
-        m = mu + me
-        ncols = n + mu + m
-        work = np.zeros((m, ncols))
-        if mu:
-            work[:mu, :n] = a_ub
-            work[:mu, n : n + mu] = np.eye(mu)
-        if me:
-            work[mu:, :n] = a_eq
-        if m:
-            work[:, n + mu :] = np.eye(m)
-
-        self.n, self.mu, self.me, self.m, self.ncols = n, mu, me, m, ncols
-        self.art0 = n + mu
-        self.a = work
-        self.b = np.concatenate([b_ub, b_eq])
-        self.costs = np.zeros(ncols)
-        self.costs[:n] = c
-
-        lower = np.zeros(ncols)
-        upper = np.full(ncols, np.inf)
-        lower[:n], upper[:n] = _normalise_bounds(bounds, n)
+        lower = np.zeros(self.ncols)
+        upper = np.full(self.ncols, np.inf)
+        lower[: self.n], upper[: self.n] = _normalise_bounds(bounds, self.n)
         lower[self.art0 :] = 0.0
         upper[self.art0 :] = 0.0
         # Collapse bound pairs that crossed within tolerance (branch-and-bound
@@ -204,14 +289,46 @@ class _BoundedRevisedSimplex:
         self.lower, self.upper = lower, upper
 
         self.basis = np.empty(0, dtype=np.int64)
-        self.status = np.full(ncols, AT_LOWER, dtype=np.int8)
-        self.b_inv = np.eye(m)
-        self.xb = np.zeros(m)
+        self.status = np.full(self.ncols, AT_LOWER, dtype=np.int8)
+        self.b_inv = np.eye(self.m)
+        self.xb = np.zeros(self.m)
         self.iterations = 0
         self._bland = False
         self._degenerate_streak = 0
         self._pivots_since_refactor = 0
         self._numerical_failure = False
+
+    # -- working-matrix access ----------------------------------------------------
+    # The four helpers below are the only places that touch the constraint
+    # matrix, branching once on its storage kind.
+
+    def _vecmat(self, v: np.ndarray) -> np.ndarray:
+        """``v @ A`` over all working columns (pricing / dual row computation)."""
+        if self.work.sparse:
+            return self.work.at @ v
+        return v @ self.work.a
+
+    def _matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` over the full working column space."""
+        if self.work.sparse:
+            return self.work.a_csc @ x
+        return self.work.a @ x
+
+    def _ftran(self, j: int) -> np.ndarray:
+        """``B^-1 a_j`` — sparse FTRAN touches only the column's non-zeros."""
+        if self.work.sparse:
+            start, end = self.work.indptr[j], self.work.indptr[j + 1]
+            rows = self.work.indices[start:end]
+            if rows.size == 0:
+                return np.zeros(self.m)
+            return self.b_inv[:, rows] @ self.work.data[start:end]
+        return self.b_inv @ self.work.a[:, j]
+
+    def _basis_matrix(self) -> np.ndarray:
+        """Dense copy of the current basis columns (for refactorisation)."""
+        if self.work.sparse:
+            return self.work.a_csc[:, self.basis].toarray()
+        return self.work.a[:, self.basis]
 
     # -- public entry ------------------------------------------------------------
 
@@ -242,21 +359,18 @@ class _BoundedRevisedSimplex:
     def _cold_start(self) -> None:
         """All-artificial basis; real columns nonbasic at their nearest bound."""
         status = np.full(self.ncols, AT_LOWER, dtype=np.int8)
-        for j in range(self.art0):
-            if np.isfinite(self.lower[j]):
-                status[j] = AT_LOWER
-            elif np.isfinite(self.upper[j]):
-                status[j] = AT_UPPER
-            else:
-                status[j] = FREE
+        finite_lower = np.isfinite(self.lower[: self.art0])
+        finite_upper = np.isfinite(self.upper[: self.art0])
+        status[: self.art0] = np.where(
+            finite_lower, AT_LOWER, np.where(finite_upper, AT_UPPER, FREE)
+        )
         self.basis = np.arange(self.art0, self.ncols, dtype=np.int64)
         status[self.basis] = BASIC
         self.status = status
         self.lower[self.art0 :] = 0.0
         self.upper[self.art0 :] = 0.0
         self.b_inv = np.eye(self.m)
-        x = self._nonbasic_values()
-        self.xb = self.b - self.a[:, : self.art0] @ x[: self.art0]
+        self._compute_xb()
 
     def _phase1(self) -> SimplexStatus:
         """Minimise signed artificial infeasibility from the all-artificial basis."""
@@ -308,42 +422,38 @@ class _BoundedRevisedSimplex:
         if not self._refactorize():
             return False
         if self.m and not np.allclose(
-            self.b_inv @ self.a[:, self.basis], np.eye(self.m), atol=1e-6
+            self.b_inv @ self._basis_matrix(), np.eye(self.m), atol=1e-6
         ):
             return False
 
         # Re-anchor nonbasic columns whose recorded bound is infinite under the
         # current bounds (the caller may have relaxed a bound since export).
-        for j in range(self.ncols):
-            s = self.status[j]
-            if s == BASIC:
-                continue
-            if s == AT_LOWER and not np.isfinite(self.lower[j]):
-                self.status[j] = AT_UPPER if np.isfinite(self.upper[j]) else FREE
-            elif s == AT_UPPER and not np.isfinite(self.upper[j]):
-                self.status[j] = AT_LOWER if np.isfinite(self.lower[j]) else FREE
-            elif s == FREE and (np.isfinite(self.lower[j]) or np.isfinite(self.upper[j])):
-                self.status[j] = AT_LOWER if np.isfinite(self.lower[j]) else AT_UPPER
+        finite_lower = np.isfinite(self.lower)
+        finite_upper = np.isfinite(self.upper)
+        nonbasic = status != BASIC
+        lost_lower = nonbasic & (status == AT_LOWER) & ~finite_lower
+        lost_upper = nonbasic & (status == AT_UPPER) & ~finite_upper
+        anchorable_free = nonbasic & (status == FREE) & (finite_lower | finite_upper)
+        status[lost_lower] = np.where(finite_upper[lost_lower], AT_UPPER, FREE)
+        status[lost_upper] = np.where(finite_lower[lost_upper], AT_LOWER, FREE)
+        status[anchorable_free] = np.where(
+            finite_lower[anchorable_free], AT_LOWER, AT_UPPER
+        )
 
         # Restore dual feasibility with bound flips where a reduced cost has
         # the wrong sign; an unflippable column (infinite opposite bound) means
         # the basis cannot seed the dual simplex — reject it.
         y = self.costs[self.basis] @ self.b_inv
-        d = self.costs - y @ self.a
-        for j in range(self.ncols):
-            s = self.status[j]
-            if s == BASIC or self.lower[j] == self.upper[j]:
-                continue
-            if s == AT_LOWER and d[j] < -_EPSILON:
-                if not np.isfinite(self.upper[j]):
-                    return False
-                self.status[j] = AT_UPPER
-            elif s == AT_UPPER and d[j] > _EPSILON:
-                if not np.isfinite(self.lower[j]):
-                    return False
-                self.status[j] = AT_LOWER
-            elif s == FREE and abs(d[j]) > _EPSILON:
-                return False
+        d = self.costs - self._vecmat(y)
+        movable = (status != BASIC) & (self.lower != self.upper)
+        flip_to_upper = movable & (status == AT_LOWER) & (d < -_EPSILON)
+        flip_to_lower = movable & (status == AT_UPPER) & (d > _EPSILON)
+        if np.any(flip_to_upper & ~finite_upper) or np.any(flip_to_lower & ~finite_lower):
+            return False
+        if np.any(movable & (status == FREE) & (np.abs(d) > _EPSILON)):
+            return False
+        status[flip_to_upper] = AT_UPPER
+        status[flip_to_lower] = AT_LOWER
 
         self._compute_xb()
         return True
@@ -362,13 +472,13 @@ class _BoundedRevisedSimplex:
         for _ in range(max_iterations):
             self.iterations += 1
             y = costs[self.basis] @ self.b_inv
-            d = costs - y @ self.a
+            d = costs - self._vecmat(y)
 
             entering, direction = self._choose_entering(d)
             if entering is None:
                 return SimplexStatus.OPTIMAL
 
-            w = self.b_inv @ self.a[:, entering]
+            w = self._ftran(entering)
             step, limit_row, leave_to = self._primal_ratio_test(entering, direction, w)
             if step is None:
                 return SimplexStatus.UNBOUNDED
@@ -475,9 +585,9 @@ class _BoundedRevisedSimplex:
                 r = int(np.argmax(violation))
             leaving_below = below[r] > above[r]
 
-            alpha = self.b_inv[r] @ self.a
+            alpha = self._vecmat(self.b_inv[r])
             y = costs[self.basis] @ self.b_inv
-            d = costs - y @ self.a
+            d = costs - self._vecmat(y)
 
             movable = self.lower < self.upper
             at_lower = (self.status == AT_LOWER) & movable
@@ -506,14 +616,14 @@ class _BoundedRevisedSimplex:
             else:
                 q = int(near[np.argmax(np.abs(alpha[near]))])
 
-            w = self.b_inv @ self.a[:, q]
+            w = self._ftran(q)
             if abs(w[r]) < _PIVOT_EPSILON:
                 # The eta-updated inverse disagrees with the priced row; rebuild
                 # it once and let the caller fall back if that does not help.
                 if not self._refactorize():
                     return SimplexStatus.ITERATION_LIMIT
                 self._compute_xb()
-                w = self.b_inv @ self.a[:, q]
+                w = self._ftran(q)
                 if abs(w[r]) < _PIVOT_EPSILON:
                     return SimplexStatus.ITERATION_LIMIT
 
@@ -571,7 +681,7 @@ class _BoundedRevisedSimplex:
             self._pivots_since_refactor = 0
             return True
         try:
-            self.b_inv = np.linalg.inv(self.a[:, self.basis])
+            self.b_inv = np.linalg.inv(self._basis_matrix())
         except np.linalg.LinAlgError:
             return False
         if not np.all(np.isfinite(self.b_inv)):
@@ -598,7 +708,7 @@ class _BoundedRevisedSimplex:
 
     def _compute_xb(self) -> None:
         x = self._nonbasic_values()
-        self.xb = self.b_inv @ (self.b - self.a @ x)
+        self.xb = self.b_inv @ (self.b - self._matvec(x))
 
     def _full_solution(self) -> np.ndarray:
         x = self._nonbasic_values()

@@ -68,12 +68,19 @@ class Solution:
         objective_value: Objective under ``values`` in the model's own sense
             (NaN when no solution exists).
         stats: Solver statistics.
+        root_basis: Optimal simplex basis of the root LP relaxation (a
+            :class:`~repro.ilp.simplex.SimplexBasis`), exported by
+            branch-and-bound on SIMPLEX-backend solves.  A caller about to
+            solve a *related* model of the same shape (e.g. a SKETCHREFINE
+            backtracking retry of the same group) can pass it back as a warm
+            start.  ``None`` for other backends/solvers.
     """
 
     status: SolverStatus
     values: np.ndarray = field(default_factory=lambda: np.empty(0))
     objective_value: float = float("nan")
     stats: SolveStats = field(default_factory=SolveStats)
+    root_basis: "object | None" = None
 
     @property
     def is_optimal(self) -> bool:

@@ -212,3 +212,53 @@ class TestPartitioningVariants:
         assert objective_value(sketch, query) == pytest.approx(
             objective_value(direct, query), rel=1e-3
         )
+
+
+class TestRefineBasisReuse:
+    def test_retry_of_same_group_reuses_cached_basis(self):
+        """A second refine solve of the same group warm-starts from the first."""
+        from repro.core.sketchrefine import SketchRefineStats
+        from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
+        from repro.ilp.lp_backend import LpBackend
+        from repro.ilp.model import ConstraintSense, IlpModel, ObjectiveSense
+
+        solver = BranchAndBoundSolver(
+            limits=SolverLimits(relative_gap=1e-9), lp_backend=LpBackend.SIMPLEX
+        )
+        evaluator = SketchRefineEvaluator(solver=solver)
+        stats = SketchRefineStats()
+
+        def group_model(rhs):
+            model = IlpModel("refine_retry")
+            for i in range(8):
+                model.add_variable(f"t{i}", 0, 1)
+            model.add_constraint(
+                {i: float(i + 1) for i in range(8)}, ConstraintSense.LE, rhs
+            )
+            model.set_objective(
+                ObjectiveSense.MAXIMIZE, {i: float(8 - i) for i in range(8)}
+            )
+            return model
+
+        first = evaluator._solve_with_group_basis(3, group_model(12.0), stats)
+        assert first.root_basis is not None
+        assert stats.refine_retry_warm_starts == 0
+
+        # Backtracking retry: same group shape, shifted residual rhs.
+        second = evaluator._solve_with_group_basis(3, group_model(10.0), stats)
+        assert stats.refine_retry_warm_starts == 1
+        assert second.stats.warm_start_hits >= 1
+
+        cold = BranchAndBoundSolver(
+            limits=SolverLimits(relative_gap=1e-9), lp_backend=LpBackend.SIMPLEX
+        ).solve(group_model(10.0))
+        assert second.objective_value == pytest.approx(cold.objective_value)
+
+    def test_non_simplex_solver_skips_cache(self, recipes_with_partitioning, fast_solver):
+        from repro.core.sketchrefine import SketchRefineStats
+
+        evaluator = SketchRefineEvaluator(solver=fast_solver)
+        table, partitioning = recipes_with_partitioning
+        query = meal_planner_query()
+        evaluator.evaluate(table, query, partitioning)
+        assert evaluator.last_stats.refine_retry_warm_starts == 0
