@@ -10,9 +10,13 @@ bytes held by the chosen storage, and the bytes the PR 1 dense pipeline would
 have held for the same model (per-constraint coefficient dicts + dense
 ``A_ub``/``A_eq`` + a dense simplex working matrix re-filled per solve).
 Peak RSS of the whole run is recorded so memory regressions surface in the
-uploaded CI artifact, not just throughput.  The JSON is committed in-repo so
-future performance PRs have a trajectory to compare against, and CI
-re-generates it as a build artifact on every push.
+uploaded CI artifact, not just throughput.  A presolve ablation solves the
+ablation queries (including a flux-budget probe most of whose columns can
+never enter a package) with root presolve on and off — objectives must match
+— and profiles the root-LP columns/rows eliminated on the large DIRECT
+instance.  The JSON is committed in-repo so future performance PRs have a
+trajectory to compare against, and CI re-generates it as a build artifact on
+every push.
 
 Run with::
 
@@ -35,6 +39,7 @@ from repro.core.translator import translate_query
 from repro.db.expressions import col
 from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
 from repro.ilp.lp_backend import LpBackend
+from repro.ilp.presolve import presolve_form
 from repro.ilp.simplex import _WorkMatrix
 from repro.paql.builder import query_over
 from repro.workloads.galaxy import galaxy_table, galaxy_workload
@@ -48,7 +53,7 @@ _QUERIES = ("Q1", "Q5")
 _STORAGE_QUERIES = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "SPARSE_PROBE")
 
 
-def _run_configuration(table, workload, warm_start_lp: bool) -> dict:
+def _run_configuration(table, workload, warm_start_lp: bool, presolve: bool = True) -> dict:
     totals = {
         "nodes_explored": 0,
         "lp_solves": 0,
@@ -64,6 +69,7 @@ def _run_configuration(table, workload, warm_start_lp: bool) -> dict:
             limits=SolverLimits(relative_gap=1e-3, node_limit=2000),
             lp_backend=LpBackend.SIMPLEX,
             warm_start_lp=warm_start_lp,
+            presolve=presolve,
         )
         solution = solver.solve(translation.model)
         stats = solution.stats
@@ -130,6 +136,121 @@ def _sparse_probe_query(table):
         .maximize_sum("petroFlux_r")
         .build()
     )
+
+
+def _presolve_probe_query(table):
+    """A Galaxy query presolve can substantially reduce.
+
+    ``petroFlux_r`` is heavy-tailed, so a total-flux budget makes the
+    brightest tuples individually infeasible, and the "no saturated objects"
+    filtered count is an indicator row whose every column fixes to zero —
+    the classic DIRECT situation where most of the table can never enter an
+    optimal package.  The objective is decoupled from the budgeted column so
+    the ablation solves to proven optimality in both configurations.
+    """
+    flux = table.numeric_column("petroFlux_r")
+    bright_cut = float(np.quantile(flux, 0.85))
+    budget = float(np.quantile(flux, 0.5)) * 8 * 1.5
+    return (
+        query_over("galaxy", name="galaxy_presolve_probe")
+        .no_repetition()
+        .count_equals(8)
+        .filtered_count_at_most(col("petroFlux_r") > bright_cut, 0)
+        .sum_at_most("petroFlux_r", budget)
+        .minimize_sum("extinction_r")
+        .build()
+    )
+
+
+#: Queries in the presolve ablation; the probe plus the two solver queries.
+_PRESOLVE_QUERIES = ("Q1", "Q5", "PRESOLVE_PROBE")
+
+
+def _ablation_query(table, workload, name):
+    if name == "PRESOLVE_PROBE":
+        return _presolve_probe_query(table)
+    return workload.query(name).query
+
+
+def _profile_root_reduction(table, workload, query_names) -> dict:
+    """Root-LP size before/after presolve (with integrality) per query."""
+    per_query = {}
+    for name in query_names:
+        model = translate_query(table, _ablation_query(table, workload, name)).model
+        form = model.to_matrix()
+        integer_mask = model.bound_and_integrality_arrays()[2]
+        reduction = presolve_form(form, integer_mask=integer_mask)
+        rows_before = int(form.a_ub.shape[0] + form.a_eq.shape[0])
+        entry = {
+            "columns": form.num_variables,
+            "rows": rows_before,
+            "feasible": reduction.feasible,
+            "presolve_ms": round(reduction.stats.presolve_ms, 3),
+            "passes": reduction.stats.passes,
+        }
+        if reduction.feasible:
+            entry.update(
+                columns_after=reduction.form.num_variables,
+                rows_after=int(
+                    reduction.form.a_ub.shape[0] + reduction.form.a_eq.shape[0]
+                ),
+                vars_fixed=reduction.stats.vars_fixed,
+                rows_removed=reduction.stats.rows_removed,
+                column_reduction=round(
+                    1.0 - reduction.form.num_variables / max(1, form.num_variables), 4
+                ),
+            )
+        per_query[name] = entry
+    return per_query
+
+
+def _presolve_ablation(table, workload) -> dict:
+    """Solve the ablation queries with presolve on and off; objectives must match."""
+    configurations = {}
+    for presolve in (True, False):
+        per_query = {}
+        started = time.perf_counter()
+        for name in _PRESOLVE_QUERIES:
+            translation = translate_query(table, _ablation_query(table, workload, name))
+            # Solved to (near-)proven optimality, unlike the throughput runs:
+            # the ablation's point is that presolve must not change the answer.
+            solver = BranchAndBoundSolver(
+                limits=SolverLimits(relative_gap=1e-9, node_limit=50_000),
+                lp_backend=LpBackend.SIMPLEX,
+                presolve=presolve,
+            )
+            solution = solver.solve(translation.model)
+            per_query[name] = {
+                "status": solution.status.value,
+                "objective": None
+                if solution.objective_value != solution.objective_value
+                else round(solution.objective_value, 6),
+                "nodes_explored": solution.stats.nodes_explored,
+                "lp_solves": solution.stats.lp_solves,
+                "simplex_iterations": solution.stats.simplex_iterations,
+                "vars_fixed": solution.stats.vars_fixed,
+                "rows_removed": solution.stats.rows_removed,
+                "presolve_ms": round(solution.stats.presolve_ms, 3),
+            }
+        configurations["on" if presolve else "off"] = {
+            "wall_seconds": round(time.perf_counter() - started, 4),
+            "per_query": per_query,
+        }
+    matches = all(
+        configurations["on"]["per_query"][name]["status"]
+        == configurations["off"]["per_query"][name]["status"]
+        and (
+            configurations["on"]["per_query"][name]["objective"] is None
+            or abs(
+                configurations["on"]["per_query"][name]["objective"]
+                - configurations["off"]["per_query"][name]["objective"]
+            )
+            <= 1e-4 * max(1.0, abs(configurations["off"]["per_query"][name]["objective"]))
+        )
+        for name in _PRESOLVE_QUERIES
+    )
+    configurations["objectives_match"] = matches
+    return configurations
 
 
 def _profile_storage(table, workload, query_names) -> dict:
@@ -215,10 +336,14 @@ def main() -> None:
     warm = _run_configuration(table, workload, warm_start_lp=True)
     cold = _run_configuration(table, workload, warm_start_lp=False)
     storage = _profile_storage(table, workload, _STORAGE_QUERIES)
+    presolve_solves = _presolve_ablation(table, workload)
 
     large_table = galaxy_table(args.form_rows, seed=args.seed)
     large_workload = galaxy_workload(large_table, seed=args.seed)
     large_storage = _profile_storage(large_table, large_workload, _STORAGE_QUERIES)
+    presolve_root_large = _profile_root_reduction(
+        large_table, large_workload, _PRESOLVE_QUERIES
+    )
 
     try:
         commit = subprocess.run(
@@ -257,6 +382,16 @@ def main() -> None:
             "rows": args.form_rows,
             **large_storage,
         },
+        "presolve": {
+            # Solve ablation at --rows; root-LP reduction profile at the
+            # --form-rows DIRECT instance (where column elimination matters).
+            "rows": args.rows,
+            "solve": presolve_solves,
+            "root_reduction_large": {
+                "rows": args.form_rows,
+                "per_query": presolve_root_large,
+            },
+        },
         "peak_rss_bytes": _peak_rss_bytes(),
     }
 
@@ -275,6 +410,14 @@ def main() -> None:
         f"{large_storage['constraint_storage_bytes']:,} bytes vs dense baseline "
         f"{large_storage['dense_baseline_bytes']:,} "
         f"({large_storage['reduction_vs_dense_baseline']:.0%} smaller)"
+    )
+    probe = presolve_root_large["PRESOLVE_PROBE"]
+    print(
+        f"presolve @{args.form_rows} rows (probe): "
+        f"{probe['columns']} -> {probe.get('columns_after', 0)} columns, "
+        f"{probe['rows']} -> {probe.get('rows_after', 0)} rows in "
+        f"{probe['presolve_ms']:.1f} ms; objectives match: "
+        f"{presolve_solves['objectives_match']}"
     )
     rss = report["peak_rss_bytes"]
     if rss:

@@ -48,6 +48,12 @@ class DirectStats:
     """Bytes held by the matrix-form constraint storage (CSR or dense)."""
     matrix_is_sparse: bool = False
     """Whether the matrix form chose CSR storage over the dense fallback."""
+    vars_fixed: int = 0
+    """Columns eliminated by the solver's root presolve (0 when disabled)."""
+    rows_removed: int = 0
+    """Constraint rows removed by the solver's root presolve."""
+    presolve_ms: float = 0.0
+    """Milliseconds spent in the root presolve."""
     solver_status: SolverStatus | None = None
     solve_stats: SolveStats | None = None
     """The solver's own statistics (nodes, LP solves, warm-start hits, …)."""
@@ -84,6 +90,7 @@ class DirectEvaluator:
         solution = self.solver.solve(translation.model)
         solved_at = time.perf_counter()
 
+        solve_stats = solution.stats
         self.last_stats = DirectStats(
             translation_seconds=translated_at - start,
             solve_seconds=solved_at - translated_at,
@@ -93,8 +100,11 @@ class DirectEvaluator:
             constraint_nnz=form.nnz,
             constraint_storage_bytes=form.constraint_storage_bytes(),
             matrix_is_sparse=form.is_sparse,
+            vars_fixed=getattr(solve_stats, "vars_fixed", 0),
+            rows_removed=getattr(solve_stats, "rows_removed", 0),
+            presolve_ms=getattr(solve_stats, "presolve_ms", 0.0),
             solver_status=solution.status,
-            solve_stats=solution.stats,
+            solve_stats=solve_stats,
         )
         return self._package_from_solution(translation, solution)
 

@@ -103,6 +103,12 @@ class SketchRefineStats:
     refine_retry_warm_starts: int = 0
     """Refine solves seeded with a cached basis from an earlier retry of the
     same group (requires a SIMPLEX-backend :class:`BranchAndBoundSolver`)."""
+    vars_fixed: int = 0
+    """Columns eliminated by root presolve, summed over sketch + refine solves."""
+    rows_removed: int = 0
+    """Constraint rows removed by root presolve, summed over all solves."""
+    presolve_ms: float = 0.0
+    """Milliseconds spent in root presolve, summed over all solves."""
 
 
 @dataclass
@@ -406,6 +412,9 @@ class SketchRefineEvaluator:
         self.last_stats.solver_lp_solves += stats.lp_solves
         self.last_stats.solver_simplex_iterations += stats.simplex_iterations
         self.last_stats.solver_warm_start_hits += stats.warm_start_hits
+        self.last_stats.vars_fixed += getattr(stats, "vars_fixed", 0)
+        self.last_stats.rows_removed += getattr(stats, "rows_removed", 0)
+        self.last_stats.presolve_ms += getattr(stats, "presolve_ms", 0.0)
 
     def _solve_with_group_basis(self, gid: int, model, stats: SketchRefineStats):
         """Solve a refine ILP, reusing the group's basis across retries.

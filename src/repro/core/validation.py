@@ -29,7 +29,12 @@ _DEFAULT_TOLERANCE = 1e-6
 
 @dataclass
 class ConstraintCheck:
-    """Result of checking one global constraint."""
+    """Result of checking one global constraint.
+
+    ``violation`` uses the same relative tolerance as ``satisfied``: a
+    within-tolerance residual is reported as 0.0, so the two fields never
+    disagree about whether the constraint holds.
+    """
 
     constraint: GlobalConstraint
     value: float
@@ -146,4 +151,10 @@ def _check_bound(
         violation = max(0.0, constraint.lower - value, value - constraint.upper)
     else:  # pragma: no cover - exhaustive enum
         raise EvaluationError(f"unknown constraint sense {constraint.sense}")
-    return violation <= tolerance, violation
+    # The tolerance is relative to the constraint's magnitude: a SUM over
+    # thousands of tuples accumulates rounding error proportional to its
+    # value, so an absolute 1e-6 would false-flag packages any solver calls
+    # feasible.  (Small constraints keep the absolute tolerance: scale >= 1.)
+    scale = max(1.0, abs(value), abs(constraint.lower), abs(constraint.upper or 0.0))
+    satisfied = violation <= tolerance * scale
+    return satisfied, 0.0 if satisfied else violation

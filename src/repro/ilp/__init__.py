@@ -8,6 +8,10 @@ an equivalent black box implemented from scratch:
 * :mod:`~repro.ilp.lp_backend` — LP relaxation solving through SciPy's HiGHS
   backend, with a pure-NumPy bounded-variable revised simplex fallback that
   supports warm-started (dual) reoptimisation from an exported basis,
+* :mod:`~repro.ilp.presolve` — presolve/postsolve reductions on the matrix
+  form (iterated bound propagation, fixed-variable elimination,
+  redundant-row removal) with solution *and* basis mapping between the
+  reduced and original spaces, run before the root LP of every solve,
 * :class:`~repro.ilp.branch_and_bound.BranchAndBoundSolver` — an exact ILP
   solver with configurable node selection, branching rules, rounding
   heuristics, basis reuse across the search tree, and capacity/time budgets
@@ -25,6 +29,7 @@ from repro.ilp.matrix_form import DenseForm, MatrixForm
 from repro.ilp.model import Constraint, ConstraintSense, IlpModel, Objective, ObjectiveSense, Variable
 from repro.ilp.status import SolveStats, SolverStatus, Solution
 from repro.ilp.lp_backend import LpBackend, WarmStart, solve_lp
+from repro.ilp.presolve import Postsolve, PresolveResult, PresolveStats, presolve_form
 from repro.ilp.simplex import SimplexBasis
 from repro.ilp.branch_and_bound import BranchAndBoundSolver, BranchingRule, NodeSelection, SolverLimits
 from repro.ilp.rounding import RelaxAndRoundSolver
@@ -46,6 +51,10 @@ __all__ = [
     "WarmStart",
     "SimplexBasis",
     "solve_lp",
+    "presolve_form",
+    "Postsolve",
+    "PresolveResult",
+    "PresolveStats",
     "BranchAndBoundSolver",
     "SolverLimits",
     "BranchingRule",

@@ -34,6 +34,19 @@ and the root relaxation's own basis is exported on the returned
 fast path is taken.  The HiGHS backend solves every node cold (SciPy exposes
 no basis interface) but still benefits from the shared matrix form.
 
+**Presolve.**  Before the root LP, the matrix form is reduced by
+:func:`~repro.ilp.presolve.presolve_form` (bound propagation with integrality
+rounding, fixed-variable elimination, redundant-row removal).  The reduction
+is computed once and shared by the whole tree: nodes keep their bounds in the
+original variable space, and :meth:`~repro.ilp.presolve.Postsolve
+.reduce_bounds` projects them into the reduced space per node (with one extra
+propagation pass over the branched bounds).  Node LP values and objectives
+are expanded back through the postsolve record, exported root bases are
+lifted to the original column space, and caller-supplied root warm starts are
+projected into the reduced space — so presolve is invisible to everything
+downstream except the ``vars_fixed`` / ``rows_removed`` / ``presolve_ms``
+statistics.
+
 ``SolverLimits`` intentionally includes ``max_variables``: CPLEX loads the
 entire problem in memory and the paper's Figure 5 shows DIRECT failing on
 large Galaxy queries for exactly that reason.  Setting a variable cap lets the
@@ -50,9 +63,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import SolverError
 from repro.ilp.lp_backend import LpBackend, LpResult, WarmStart, solve_lp_form
 from repro.ilp.matrix_form import MatrixForm
 from repro.ilp.model import ConstraintSense, IlpModel, ObjectiveSense
+from repro.ilp.presolve import Postsolve, presolve_form
 from repro.ilp.simplex import SimplexBasis
 from repro.ilp.status import Solution, SolveStats, SolverStatus
 
@@ -121,6 +136,7 @@ class BranchAndBoundSolver:
         lp_backend: LpBackend = LpBackend.HIGHS,
         enable_rounding_heuristic: bool = True,
         warm_start_lp: bool = True,
+        presolve: bool = True,
     ):
         self.limits = limits or SolverLimits()
         self.branching = branching
@@ -130,6 +146,10 @@ class BranchAndBoundSolver:
         # Basis reuse across the tree (SIMPLEX backend only); the off switch
         # exists so benchmarks can measure cold-vs-warm node throughput.
         self.warm_start_lp = warm_start_lp
+        # Root presolve (bound propagation + fixed-variable elimination on the
+        # matrix form, reused by every node); off switch for the benchmark
+        # ablation and for debugging reductions.
+        self.presolve = presolve
 
     # -- public API ----------------------------------------------------------------
 
@@ -159,6 +179,35 @@ class BranchAndBoundSolver:
         root_lower = lower.copy()
         root_upper = upper.copy()
 
+        # Root presolve: shrink the form once, then derive every node from the
+        # reduced matrices.  Node bounds stay in the *original* variable space
+        # (branching indices, integrality and incumbents all live there);
+        # _solve_node_lp projects them through the postsolve record per node.
+        postsolve: Postsolve | None = None
+        solve_form = form
+        if self.presolve:
+            reduction = presolve_form(form, integer_mask=integer_mask)
+            stats.vars_fixed = reduction.stats.vars_fixed
+            stats.rows_removed = reduction.stats.rows_removed
+            stats.presolve_ms = reduction.stats.presolve_ms
+            if not reduction.feasible:
+                stats.wall_time_seconds = time.perf_counter() - start
+                return Solution.infeasible(stats)
+            if reduction.form is not form:
+                postsolve = reduction.postsolve
+                solve_form = reduction.form
+                if postsolve.num_reduced_vars == 0:
+                    # Presolve decided every variable; no LP needed.
+                    stats.wall_time_seconds = time.perf_counter() - start
+                    candidate = postsolve.restore(np.empty(0))
+                    if model.check_feasible(candidate):
+                        value = model.objective_value(candidate)
+                        stats.best_bound = value
+                        stats.incumbent_updates = 1
+                        stats.gap = 0.0
+                        return Solution(SolverStatus.OPTIMAL, candidate, value, stats)
+                    return Solution.infeasible(stats)
+
         sense = model.objective.sense
         incumbent: np.ndarray | None = None
         incumbent_value = sense.worst_value
@@ -170,6 +219,11 @@ class BranchAndBoundSolver:
         counter = itertools.count()
         heap: list[_Node] = []
         root_seed = warm_start.basis if (warm_start is not None and self.warm_start_lp) else None
+        if root_seed is not None and postsolve is not None:
+            # The caller's basis lives in the original column space; project it
+            # into this solve's reduced space (None -> cold root, as for any
+            # stale warm start).
+            root_seed = postsolve.reduce_basis(root_seed)
         root = _Node(priority=0.0, sequence=next(counter), depth=0,
                      lower_bounds=root_lower, upper_bounds=root_upper,
                      parent_basis=root_seed)
@@ -192,13 +246,29 @@ class BranchAndBoundSolver:
             node = heapq.heappop(heap)
             stats.nodes_explored += 1
 
-            lp_result = self._solve_node_lp(form, node)
+            lp_result = self._solve_node_lp(solve_form, node, postsolve)
             stats.lp_solves += 1
             stats.simplex_iterations += lp_result.iterations
             if lp_result.warm_start_used:
                 stats.warm_start_hits += 1
+            if lp_result.status is SolverStatus.NUMERICAL_ERROR and node.parent_basis is not None:
+                # The warm basis corrupted the solve; retry the node cold
+                # rather than pruning (or aborting) on numerical noise.
+                stats.numerical_retries += 1
+                node.parent_basis = None
+                lp_result = self._solve_node_lp(solve_form, node, postsolve)
+                stats.lp_solves += 1
+                stats.simplex_iterations += lp_result.iterations
+            if lp_result.status is SolverStatus.NUMERICAL_ERROR:
+                raise SolverError(
+                    f"LP relaxation failed numerically at node depth {node.depth}"
+                )
             if node.depth == 0 and lp_result.basis is not None:
-                root_basis = lp_result.basis
+                root_basis = (
+                    postsolve.restore_basis(lp_result.basis)
+                    if postsolve is not None
+                    else lp_result.basis
+                )
 
             if lp_result.status is SolverStatus.INFEASIBLE:
                 continue
@@ -296,8 +366,24 @@ class BranchAndBoundSolver:
             return SolverStatus.CAPACITY_EXCEEDED
         return None
 
-    def _solve_node_lp(self, form: MatrixForm, node: _Node) -> LpResult:
-        node_form = form.with_bounds(node.lower_bounds, node.upper_bounds)
+    def _solve_node_lp(
+        self, form: MatrixForm, node: _Node, postsolve: Postsolve | None = None
+    ) -> LpResult:
+        """Solve one node's LP relaxation, in reduced space when presolved.
+
+        ``form`` is the (possibly reduced) shared matrix form.  Node bounds
+        are kept in the original variable space and projected per node; the
+        returned values and objective are expanded back to the original space
+        while the basis stays reduced — children consume it against the same
+        reduced form.
+        """
+        if postsolve is None:
+            node_form = form.with_bounds(node.lower_bounds, node.upper_bounds)
+        else:
+            reduced_lower, reduced_upper = postsolve.reduce_bounds(
+                node.lower_bounds, node.upper_bounds
+            )
+            node_form = form.with_bounds(reduced_lower, reduced_upper)
         warm = None
         if (
             self.warm_start_lp
@@ -305,7 +391,17 @@ class BranchAndBoundSolver:
             and self.lp_backend is LpBackend.SIMPLEX
         ):
             warm = WarmStart(basis=node.parent_basis)
-        return solve_lp_form(node_form, self.lp_backend, warm_start=warm)
+        result = solve_lp_form(node_form, self.lp_backend, warm_start=warm, presolve=False)
+        if postsolve is None or not result.status.has_solution:
+            return result
+        return LpResult(
+            result.status,
+            postsolve.restore(result.values),
+            result.objective_value + postsolve.objective_offset,
+            basis=result.basis,
+            iterations=result.iterations,
+            warm_start_used=result.warm_start_used,
+        )
 
     @staticmethod
     def _fractional_indices(values: np.ndarray, integer_mask: np.ndarray) -> np.ndarray:

@@ -55,7 +55,7 @@ def constraint_columns(model: IlpModel, constraint_names: list[str]) -> set[int]
     columns: set[int] = set()
     for constraint in model.constraints:
         if constraint.name in names:
-            columns.update(constraint.coefficients.keys())
+            columns.update(constraint.indices.tolist())
     return columns
 
 
@@ -64,13 +64,20 @@ def _relaxation_feasible(model: IlpModel, lp_backend: LpBackend) -> bool:
 
 
 def _subset_feasible(model: IlpModel, constraint_indices: list[int], lp_backend: LpBackend) -> bool:
+    # Probe models are rebuilt through the coefficient-triplet fast path
+    # (sharing the source constraints' index/value arrays), not by
+    # materialising per-constraint dicts: the deletion filter builds O(m)
+    # probes, so dict round-trips would make it quadratic in nnz.
     subset = IlpModel(name=f"{model.name}_iis_probe")
     for variable in model.variables:
         subset.add_variable(variable.name, variable.lower, variable.upper, variable.is_integer)
     for i in constraint_indices:
         constraint = model.constraints[i]
-        subset.add_constraint(
-            dict(constraint.coefficients), constraint.sense, constraint.rhs, name=constraint.name
+        subset.add_constraint_arrays(
+            constraint.indices, constraint.values, constraint.sense, constraint.rhs,
+            name=constraint.name,
         )
-    subset.set_objective(model.objective.sense, dict(model.objective.coefficients))
+    subset.set_objective_arrays(
+        model.objective.sense, model.objective.indices, model.objective.values
+    )
     return _relaxation_feasible(subset, lp_backend)

@@ -43,6 +43,7 @@ from scipy.optimize import linprog
 from repro.errors import SolverError
 from repro.ilp.matrix_form import MatrixForm
 from repro.ilp.model import IlpModel
+from repro.ilp.presolve import PresolveResult, presolve_form
 from repro.ilp.simplex import (
     SimplexBasis,
     SimplexResult,
@@ -50,6 +51,10 @@ from repro.ilp.simplex import (
     solve_form_simplex,
 )
 from repro.ilp.status import Solution, SolveStats, SolverStatus
+
+#: ``form.cache`` slot for the memoized presolve reduction (keyed by a bounds
+#: fingerprint, since ``with_bounds`` views share one cache dict).
+_PRESOLVE_CACHE_KEY = "lp_presolve"
 
 
 class LpBackend(enum.Enum):
@@ -96,15 +101,94 @@ def solve_lp_form(
     form: MatrixForm,
     backend: LpBackend = LpBackend.HIGHS,
     warm_start: WarmStart | None = None,
+    presolve: bool = True,
 ) -> LpResult:
-    """Solve the LP relaxation of a matrix-form model."""
+    """Solve the LP relaxation of a matrix-form model.
+
+    With ``presolve`` (the default) the form is first reduced by
+    :func:`~repro.ilp.presolve.presolve_form` — bound propagation, fixed
+    variables eliminated, redundant rows dropped — and the result is mapped
+    back through the reduction's postsolve record: values, objective *and*
+    basis all come back in the original space, and a supplied warm-start
+    basis is projected into the reduced space, so the warm-start protocol is
+    unaffected.  The reduction is memoized on ``form.cache`` (keyed by the
+    bounds), so repeated solves of the same form presolve once.  Callers that
+    manage their own reduction (branch-and-bound) pass ``presolve=False``.
+    """
+    if not presolve:
+        return _dispatch(form, backend, warm_start)
+    reduction = _cached_presolve(form)
+    if not reduction.feasible:
+        return LpResult(SolverStatus.INFEASIBLE, np.empty(0), float("nan"))
+    postsolve = reduction.postsolve
+    if reduction.form is form:
+        return _dispatch(form, backend, warm_start)
+    reduced_warm = None
+    if warm_start is not None and warm_start.basis is not None:
+        mapped = postsolve.reduce_basis(warm_start.basis)
+        if mapped is not None:
+            reduced_warm = WarmStart(basis=mapped)
+        elif (
+            backend is LpBackend.SIMPLEX
+            and isinstance(warm_start.basis, SimplexBasis)
+            and warm_start.basis.matches(
+                postsolve.num_orig_vars, postsolve.num_orig_ub, postsolve.num_orig_eq
+            )
+        ):
+            # The reduction conflicts with the caller's basis (typically it
+            # fixed a column that is basic there).  A dual reoptimisation
+            # from that basis is usually cheaper than a cold reduced solve,
+            # so the warm start wins and presolve steps aside.
+            return _dispatch(form, backend, warm_start)
+    if postsolve.num_reduced_vars == 0:
+        # Everything fixed by presolve; the remaining rows were all removed
+        # (or the reduction would have been infeasible).
+        values = postsolve.restore(np.empty(0))
+        return LpResult(
+            SolverStatus.OPTIMAL, values, form.objective_from_min(float(form.c @ values))
+        )
+    result = _dispatch(reduction.form, backend, reduced_warm)
+    if not result.status.has_solution:
+        return LpResult(
+            result.status,
+            result.values,
+            result.objective_value,
+            iterations=result.iterations,
+            warm_start_used=result.warm_start_used,
+        )
+    return LpResult(
+        result.status,
+        postsolve.restore(result.values),
+        result.objective_value + postsolve.objective_offset,
+        basis=postsolve.restore_basis(result.basis),
+        iterations=result.iterations,
+        warm_start_used=result.warm_start_used,
+    )
+
+
+def _dispatch(
+    form: MatrixForm, backend: LpBackend, warm_start: WarmStart | None
+) -> LpResult:
     if backend is LpBackend.HIGHS:
         return _solve_highs(form)
     return _solve_simplex(form, warm_start)
 
 
+def _cached_presolve(form: MatrixForm) -> PresolveResult:
+    lower, upper = form.bound_arrays()
+    key = (lower.tobytes(), upper.tobytes())
+    cached = form.cache.get(_PRESOLVE_CACHE_KEY)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    reduction = presolve_form(form)
+    form.cache[_PRESOLVE_CACHE_KEY] = (key, reduction)
+    return reduction
+
+
 # PR 1 name, kept for compatibility with existing callers/tests.
 solve_lp_dense = solve_lp_form
+# The presolve-aware entry point under its architectural name.
+solve_form = solve_lp_form
 
 
 def solve_lp(
@@ -179,6 +263,16 @@ def _solve_simplex(form: MatrixForm, warm_start: WarmStart | None = None) -> LpR
     if simplex_result.status is SimplexStatus.UNBOUNDED:
         return LpResult(
             SolverStatus.UNBOUNDED,
+            np.empty(0),
+            float("nan"),
+            iterations=simplex_result.iterations,
+            warm_start_used=simplex_result.warm_started,
+        )
+    if simplex_result.status is SimplexStatus.NUMERICAL_ERROR:
+        # Surfaced (not raised) so branch-and-bound can retry the node cold
+        # rather than aborting — or worse, pruning — the subtree.
+        return LpResult(
+            SolverStatus.NUMERICAL_ERROR,
             np.empty(0),
             float("nan"),
             iterations=simplex_result.iterations,

@@ -65,12 +65,26 @@ class RelaxAndRoundSolver:
         return np.clip(values, lower, upper)
 
     def _repair(self, model: IlpModel, values: np.ndarray) -> np.ndarray | None:
-        """Greedy repair: adjust one variable per pass to reduce the worst violation."""
+        """Greedy repair: adjust one variable per pass to reduce the worst violation.
+
+        The total violation must strictly decrease every pass.  Two coupled
+        constraints can otherwise make the greedy step oscillate a variable
+        ±1 forever (fixing one constraint re-violates the other), burning the
+        whole pass budget on a livelock; a pass that fails to make progress
+        means repair has stalled and the heuristic gives up immediately.
+        """
         values = values.copy()
+        previous_total = float("inf")
         for _ in range(_MAX_REPAIR_PASSES):
             violated = [c for c in model.constraints if not c.is_satisfied(values)]
             if not violated:
                 return values
+            total = sum(c.violation(values) for c in violated)
+            if np.isfinite(previous_total) and total >= previous_total - 1e-12 * max(
+                1.0, previous_total
+            ):
+                return None
+            previous_total = total
             worst = max(violated, key=lambda c: c.violation(values))
             if not self._fix_constraint(model, worst, values):
                 return None

@@ -73,6 +73,10 @@ class SimplexStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
+    #: The basis inverse went singular / non-finite and refactorisation could
+    #: not repair it.  Distinct from ITERATION_LIMIT so callers retry cold
+    #: instead of treating the solve as a genuine pivot-budget exhaustion.
+    NUMERICAL_ERROR = "numerical_error"
 
 
 @dataclass
@@ -337,8 +341,10 @@ class _BoundedRevisedSimplex:
             return self._result(SimplexStatus.INFEASIBLE)
         if warm_start is not None and self._try_install(warm_start):
             status = self._reoptimize()
-            if status is not SimplexStatus.ITERATION_LIMIT:
-                return self._result(status, warm_started=True)
+            if status not in (SimplexStatus.ITERATION_LIMIT, SimplexStatus.NUMERICAL_ERROR):
+                result = self._result(status, warm_started=True)
+                if result.status is not SimplexStatus.NUMERICAL_ERROR:
+                    return result
             # Numerical trouble on the warm path: restart cold.
             self._bland = False
             self._degenerate_streak = 0
@@ -392,7 +398,7 @@ class _BoundedRevisedSimplex:
         nonbasic_art = (self.status[art] != BASIC).nonzero()[0] + self.art0
         self.status[nonbasic_art] = AT_LOWER
 
-        if status is SimplexStatus.ITERATION_LIMIT:
+        if status in (SimplexStatus.ITERATION_LIMIT, SimplexStatus.NUMERICAL_ERROR):
             return status
         scale = max(1.0, float(np.abs(self.b).sum()))
         if infeasibility > _FEASIBILITY_TOLERANCE * scale:
@@ -504,7 +510,7 @@ class _BoundedRevisedSimplex:
             refactored = self._apply_pivot(limit_row, entering, w)
             self.status[leaving] = leave_to
             if self._numerical_failure:
-                return SimplexStatus.ITERATION_LIMIT
+                return SimplexStatus.NUMERICAL_ERROR
             if refactored:
                 self._compute_xb()
             else:
@@ -621,11 +627,11 @@ class _BoundedRevisedSimplex:
                 # The eta-updated inverse disagrees with the priced row; rebuild
                 # it once and let the caller fall back if that does not help.
                 if not self._refactorize():
-                    return SimplexStatus.ITERATION_LIMIT
+                    return SimplexStatus.NUMERICAL_ERROR
                 self._compute_xb()
                 w = self._ftran(q)
                 if abs(w[r]) < _PIVOT_EPSILON:
-                    return SimplexStatus.ITERATION_LIMIT
+                    return SimplexStatus.NUMERICAL_ERROR
 
             # Incremental primal update: move the entering column by exactly
             # the amount that lands x_B[r] on its violated bound, then make it
@@ -644,7 +650,7 @@ class _BoundedRevisedSimplex:
             refactored = self._apply_pivot(r, q, w)
             self.status[leaving] = AT_LOWER if leaving_below else AT_UPPER
             if self._numerical_failure:
-                return SimplexStatus.ITERATION_LIMIT
+                return SimplexStatus.NUMERICAL_ERROR
             if refactored:
                 self._compute_xb()
             else:
@@ -659,7 +665,7 @@ class _BoundedRevisedSimplex:
 
         A failed refactorisation (singular or non-finite inverse) raises the
         ``_numerical_failure`` flag so the driving loop can bail out with
-        ITERATION_LIMIT instead of iterating on a corrupt inverse.
+        NUMERICAL_ERROR instead of iterating on a corrupt inverse.
         """
         self.basis[row] = entering
         self.status[entering] = BASIC
@@ -725,7 +731,7 @@ class _BoundedRevisedSimplex:
             # A corrupt basis inverse can only produce non-finite values; never
             # report that as OPTIMAL.
             return SimplexResult(
-                SimplexStatus.ITERATION_LIMIT,
+                SimplexStatus.NUMERICAL_ERROR,
                 np.empty(0),
                 float("nan"),
                 None,

@@ -17,6 +17,7 @@ class SolverStatus(enum.Enum):
     UNBOUNDED = "unbounded"
     CAPACITY_EXCEEDED = "capacity_exceeded"  # Problem too large for configured limits.
     TIME_LIMIT = "time_limit"
+    NUMERICAL_ERROR = "numerical_error"      # Solver state went singular / non-finite.
     ERROR = "error"
 
     @property
@@ -27,7 +28,12 @@ class SolverStatus(enum.Enum):
     @property
     def is_failure(self) -> bool:
         """Whether the solve failed for a non-infeasibility reason."""
-        return self in (SolverStatus.CAPACITY_EXCEEDED, SolverStatus.TIME_LIMIT, SolverStatus.ERROR)
+        return self in (
+            SolverStatus.CAPACITY_EXCEEDED,
+            SolverStatus.TIME_LIMIT,
+            SolverStatus.NUMERICAL_ERROR,
+            SolverStatus.ERROR,
+        )
 
 
 @dataclass
@@ -39,6 +45,12 @@ class SolveStats:
     LP solves, the latter counts LP solves that successfully reoptimised from
     a parent basis instead of starting cold.  Their ratio to ``lp_solves``
     is what the benchmark harness uses to prove basis reuse is working.
+
+    ``vars_fixed`` / ``rows_removed`` / ``presolve_ms`` describe the root
+    presolve reduction of a branch-and-bound solve (zero when presolve is
+    disabled or achieved nothing); ``numerical_retries`` counts node LPs that
+    came back :attr:`SolverStatus.NUMERICAL_ERROR` from a warm start and were
+    retried cold.
     """
 
     nodes_explored: int = 0
@@ -49,6 +61,10 @@ class SolveStats:
     gap: float = float("nan")
     simplex_iterations: int = 0
     warm_start_hits: int = 0
+    vars_fixed: int = 0
+    rows_removed: int = 0
+    presolve_ms: float = 0.0
+    numerical_retries: int = 0
 
     @property
     def warm_start_rate(self) -> float:

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.ilp import rounding
 from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
 from repro.ilp.iis import constraint_columns, find_iis
 from repro.ilp.model import ConstraintSense, IlpModel, ObjectiveSense
@@ -60,6 +61,49 @@ class TestRelaxAndRound:
         assert solution.status is SolverStatus.FEASIBLE
         assert model.check_feasible(solution.values)
 
+    def test_repair_oscillation_bails_instead_of_livelocking(self, monkeypatch):
+        """Regression: two coupled equalities used to make repair oscillate ±1.
+
+        Rounding the LP optimum (0.5, 0.5) of ``x + y = 1, x - y = 0`` gives
+        (0, 0); the greedy step then bounces between raising y (fixing the
+        first row, breaking the second) and lowering it again, never reducing
+        the total violation.  The repair loop must detect the stalled pass
+        and give up instead of burning the whole pass budget.
+        """
+        model = IlpModel()
+        model.add_variable("x", 0, 3)
+        model.add_variable("y", 0, 3)
+        model.add_constraint({0: 1.0, 1: 1.0}, ConstraintSense.EQ, 1, name="sum_one")
+        model.add_constraint({0: 1.0, 1: -1.0}, ConstraintSense.EQ, 0, name="balance")
+        model.set_objective(ObjectiveSense.MINIMIZE, {0: 1.0, 1: 0.0})
+
+        # A pass budget large enough that a livelock would dominate the test
+        # run; the violation-progress check must bail long before it.
+        monkeypatch.setattr(rounding, "_MAX_REPAIR_PASSES", 50_000)
+        passes = 0
+        original = RelaxAndRoundSolver._fix_constraint
+
+        def counting_fix(self, model_, constraint, values):
+            nonlocal passes
+            passes += 1
+            return original(self, model_, constraint, values)
+
+        monkeypatch.setattr(RelaxAndRoundSolver, "_fix_constraint", counting_fix)
+        solution = RelaxAndRoundSolver().solve(model)
+        assert solution.status is SolverStatus.INFEASIBLE
+        assert passes < 10
+
+    def test_repair_multi_step_progress_still_allowed(self):
+        """Repairs needing several passes (monotone progress) keep working."""
+        model = IlpModel()
+        model.add_variable("x", 0, 5)
+        model.add_variable("y", 0, 5)
+        model.add_constraint({0: 1.0, 1: 1.0}, ConstraintSense.GE, 6, name="floor")
+        model.set_objective(ObjectiveSense.MINIMIZE, {0: 1.0, 1: 1.0})
+        repaired = RelaxAndRoundSolver()._repair(model, np.array([0.0, 0.0]))
+        assert repaired is not None
+        assert model.check_feasible(repaired)
+
     def test_black_box_protocol_with_direct_evaluator(self, recipes):
         """The evaluators accept any solver implementing the solve() protocol.
 
@@ -103,6 +147,27 @@ class TestIis:
         model.add_constraint({0: 1.0}, ConstraintSense.LE, 9, name="harmless")
         iis = find_iis(model)
         assert set(iis) == {"high", "low"}
+
+    def test_iis_on_triplet_built_model(self):
+        """The deletion filter handles models built through the array fast path."""
+        model = IlpModel()
+        for i in range(4):
+            model.add_variable(f"x{i}", 0, 10)
+        model.add_constraint_arrays(
+            np.array([0, 1, 2, 3]), np.array([1.0, 1.0, 1.0, 1.0]),
+            ConstraintSense.GE, 30.0, name="floor",
+        )
+        model.add_constraint_arrays(
+            np.array([0, 1, 2, 3]), np.array([1.0, 1.0, 1.0, 1.0]),
+            ConstraintSense.LE, 10.0, name="ceiling",
+        )
+        model.add_constraint_arrays(
+            np.array([0]), np.array([1.0]), ConstraintSense.LE, 9.0, name="harmless"
+        )
+        model.set_objective_arrays(
+            ObjectiveSense.MINIMIZE, np.array([0, 1]), np.array([1.0, 1.0])
+        )
+        assert set(find_iis(model)) == {"floor", "ceiling"}
 
     def test_constraint_columns(self):
         model = IlpModel()

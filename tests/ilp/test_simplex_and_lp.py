@@ -192,3 +192,73 @@ class TestBackendAgreement:
         elif reference.status == 0:
             assert warm.status is SimplexStatus.OPTIMAL
             assert warm.objective == pytest.approx(reference.fun, abs=1e-6)
+
+
+class TestNumericalErrorStatus:
+    """A corrupt/singular basis inverse must surface as NUMERICAL_ERROR, not
+    masquerade as ITERATION_LIMIT (which callers treat as a pivot budget)."""
+
+    def _force_refactor_failure(self, monkeypatch):
+        from repro.ilp import simplex as simplex_mod
+
+        monkeypatch.setattr(simplex_mod, "_REFACTOR_INTERVAL", 1)
+        monkeypatch.setattr(
+            simplex_mod._BoundedRevisedSimplex, "_refactorize", lambda self: False
+        )
+
+    def test_simplex_reports_numerical_error(self, monkeypatch):
+        self._force_refactor_failure(monkeypatch)
+        result = solve_dense_simplex(
+            c=np.array([-3.0, -2.0]),
+            a_ub=np.array([[1.0, 1.0], [1.0, 0.0]]),
+            b_ub=np.array([4.0, 2.0]),
+            a_eq=np.empty((0, 2)),
+            b_eq=np.empty(0),
+            bounds=[(0.0, None), (0.0, None)],
+        )
+        assert result.status is SimplexStatus.NUMERICAL_ERROR
+
+    def test_lp_backend_maps_numerical_error(self, monkeypatch):
+        from repro.ilp.lp_backend import solve_lp_form
+
+        self._force_refactor_failure(monkeypatch)
+        form = simple_lp_model().to_matrix()
+        result = solve_lp_form(form, LpBackend.SIMPLEX, presolve=False)
+        assert result.status is SolverStatus.NUMERICAL_ERROR
+        assert SolverStatus.NUMERICAL_ERROR.is_failure
+        assert not result.status.has_solution
+
+    def test_branch_and_bound_retries_numerically_failed_warm_nodes(self, monkeypatch):
+        """A NUMERICAL_ERROR on a warm-started node LP triggers a cold retry
+        (counted in stats) instead of pruning the subtree or aborting."""
+        import repro.ilp.branch_and_bound as bnb
+        from repro.ilp.branch_and_bound import BranchAndBoundSolver
+        from repro.ilp.lp_backend import LpResult
+
+        model = IlpModel()
+        for i, (value, weight) in enumerate([(10, 5), (13, 6), (7, 4), (8, 3)]):
+            model.add_variable(f"x{i}", 0, 1)
+        model.add_constraint(
+            {0: 5.0, 1: 6.0, 2: 4.0, 3: 3.0}, ConstraintSense.LE, 10
+        )
+        model.set_objective(
+            ObjectiveSense.MAXIMIZE, {0: 10.0, 1: 13.0, 2: 7.0, 3: 8.0}
+        )
+
+        real = bnb.solve_lp_form
+        failed = []
+
+        def flaky(form, backend, warm_start=None, presolve=True):
+            if warm_start is not None and not failed:
+                failed.append(True)
+                return LpResult(SolverStatus.NUMERICAL_ERROR, np.empty(0), float("nan"))
+            return real(form, backend, warm_start=warm_start, presolve=presolve)
+
+        monkeypatch.setattr(bnb, "solve_lp_form", flaky)
+        solver = BranchAndBoundSolver(lp_backend=LpBackend.SIMPLEX)
+        solution = solver.solve(model)
+        assert failed, "expected at least one warm-started node LP"
+        assert solution.status is SolverStatus.OPTIMAL
+        assert solution.stats.numerical_retries == 1
+        cold = BranchAndBoundSolver(lp_backend=LpBackend.SIMPLEX, warm_start_lp=False).solve(model)
+        assert solution.objective_value == pytest.approx(cold.objective_value)
