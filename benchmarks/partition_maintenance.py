@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Record the incremental-maintenance baseline as ``BENCH_partition.json``.
+
+Measures what the dynamic data plane buys: on the 20k-row synthetic Galaxy
+table, applies insert deltas of 1% and 10% of the base size and times
+:class:`~repro.partition.maintenance.PartitionMaintainer` (nearest-group
+assignment + delta-updated statistics + local re-splits) against the only
+alternative the paper offers — a full re-partition of the new table with the
+original quad-tree partitioner.  For each delta size it also verifies that
+the maintained partitioning still satisfies the τ size condition and that
+its group statistics match a from-scratch recompute, so the speedup is never
+bought with a broken invariant.  The JSON is committed in-repo for a
+trajectory across PRs, and CI re-generates it as a build artifact.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/partition_maintenance.py [--rows 20000] [--out BENCH_partition.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.partition.maintenance import PartitionMaintainer
+from repro.partition.quadtree import QuadTreePartitioner
+from repro.partition.representatives import compute_centroids, group_radii
+from repro.workloads.galaxy import galaxy_table
+
+ATTRIBUTES = ["petroMag_r", "redshift", "petroFlux_r"]
+
+#: Insert-delta sizes measured, as fractions of the base table.
+_DELTA_FRACTIONS = (0.01, 0.10)
+
+
+def _timed(fn, repeats: int):
+    """Best-of-``repeats`` wall time (seconds) and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _stats_exact(partitioning) -> bool:
+    fresh_centroids = compute_centroids(
+        partitioning.table, partitioning.group_ids, partitioning.attributes
+    )
+    fresh_radii = group_radii(
+        partitioning.table,
+        partitioning.group_ids,
+        partitioning.attributes,
+        centroids=fresh_centroids,
+    )
+    return bool(
+        np.allclose(partitioning.group_centroids(), fresh_centroids)
+        and np.allclose(partitioning.group_radii_array(), fresh_radii)
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument("--tau", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_partition.json")
+    args = parser.parse_args()
+
+    table = galaxy_table(args.rows, seed=args.seed)
+    pool = galaxy_table(max(1, int(args.rows * max(_DELTA_FRACTIONS))), seed=args.seed + 1)
+    partitioner = QuadTreePartitioner(size_threshold=args.tau)
+
+    build_seconds, base = _timed(lambda: partitioner.partition(table, ATTRIBUTES), 1)
+    print(
+        f"base build: {args.rows} rows -> {base.num_groups} groups "
+        f"(tau={args.tau}) in {build_seconds * 1e3:.1f} ms"
+    )
+
+    maintainer = PartitionMaintainer()
+    deltas = {}
+    for fraction in _DELTA_FRACTIONS:
+        count = int(args.rows * fraction)
+        inserted = pool.head(count)
+        new_table, delta = table.append_rows(inserted)
+
+        maintain_seconds, (maintained, maintain_stats) = _timed(
+            lambda: maintainer.maintain(base, new_table, delta), args.repeats
+        )
+        rebuild_seconds, rebuilt = _timed(
+            lambda: partitioner.partition(new_table, ATTRIBUTES), args.repeats
+        )
+
+        entry = {
+            "inserted_rows": count,
+            "maintain_seconds": round(maintain_seconds, 6),
+            "rebuild_seconds": round(rebuild_seconds, 6),
+            "speedup": round(rebuild_seconds / maintain_seconds, 2),
+            "groups_resplit": maintain_stats.groups_resplit,
+            "groups_created": maintain_stats.groups_created,
+            "maintained_groups": maintained.num_groups,
+            "rebuilt_groups": rebuilt.num_groups,
+            "satisfies_size_threshold": bool(maintained.satisfies_size_threshold(args.tau)),
+            "stats_match_recompute": _stats_exact(maintained),
+        }
+        deltas[f"insert_{fraction:.0%}"] = entry
+        print(
+            f"insert {fraction:.0%} ({count} rows): maintain "
+            f"{maintain_seconds * 1e3:.1f} ms vs rebuild {rebuild_seconds * 1e3:.1f} ms "
+            f"({entry['speedup']}x), tau ok: {entry['satisfies_size_threshold']}, "
+            f"stats exact: {entry['stats_match_recompute']}"
+        )
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": args.rows,
+        "tau": args.tau,
+        "seed": args.seed,
+        "attributes": ATTRIBUTES,
+        "base_build_seconds": round(build_seconds, 6),
+        "base_groups": base.num_groups,
+        "deltas": deltas,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,15 @@ prototype sits on top of PostgreSQL + CPLEX:
 
 * tables live in a :class:`~repro.db.catalog.Database` catalog,
 * offline partitionings are built once per table and registered in the catalog,
+* the base relations are *dynamic*: :meth:`PackageQueryEngine.update_table`
+  absorbs inserts/deletes as one versioned
+  :class:`~repro.dataset.table.TableDelta`, and every registered partitioning
+  is either maintained through the delta incrementally (the default
+  ``"maintain"`` policy — τ/ω guarantees preserved, no full re-partition) or
+  left stale (``"stale"`` policy) until rebuilt; AUTO refuses stale
+  partitionings and falls back to DIRECT, while an explicit SKETCHREFINE
+  request over a stale partitioning raises
+  :class:`~repro.errors.StalePartitioningError`,
 * queries arrive either as PaQL text or as :class:`~repro.paql.ast.PackageQuery`
   objects built with the fluent builder,
 * evaluation picks DIRECT, SKETCHREFINE or the naïve baseline, and the result
@@ -17,6 +26,11 @@ Example::
     engine.build_partitioning("recipes", ["kcal", "saturated_fat"], size_threshold=50)
     result = engine.execute(PAQL_TEXT, method="sketchrefine")
     print(result.package.materialize())
+
+    # The data plane stays live: updates flow in, partitionings follow.
+    engine.update_table("recipes", insert=new_recipes)      # version + 1
+    engine.update_table("recipes", delete=stale_row_ids)    # version + 2
+    result = engine.execute(PAQL_TEXT, method="sketchrefine")  # still valid
 """
 
 from __future__ import annotations
@@ -24,22 +38,23 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.direct import DirectEvaluator
 from repro.core.naive import NaiveSelfJoinEvaluator
 from repro.core.package import Package
 from repro.core.sketchrefine import SketchRefineConfig, SketchRefineEvaluator
 from repro.core.validation import check_package, objective_value
-from repro.dataset.table import Table
-from repro.db.catalog import Database
-from repro.errors import CatalogError, EvaluationError
+from repro.dataset.table import Table, TableDelta
+from repro.db.catalog import MAINTENANCE_POLICIES, Database, TableUpdateResult
+from repro.errors import CatalogError, EvaluationError, StalePartitioningError
 from repro.paql.ast import PackageQuery
 from repro.paql.parser import parse_paql
 from repro.paql.validator import validate_query
-from repro.partition.kdtree import KdTreePartitioner
-from repro.partition.kmeans import KMeansPartitioner
+from repro.partition.maintenance import is_known_method, make_partitioner
 from repro.partition.partitioning import Partitioning
-from repro.partition.quadtree import QuadTreePartitioner
 
 
 class EvaluationMethod(enum.Enum):
@@ -69,19 +84,28 @@ class EvaluationResult:
 
 
 class PackageQueryEngine:
-    """Facade over the catalog, the PaQL front-end and the evaluators."""
+    """Facade over the catalog, the PaQL front-end and the evaluators.
 
-    # SKETCHREFINE needs a partitioning; below this many tuples DIRECT is used
-    # by AUTO regardless, because the whole problem comfortably fits the solver.
-    _AUTO_DIRECT_THRESHOLD = 2_000
+    Args:
+        database: Catalog to use (default: a fresh empty one).
+        solver: Black-box ILP solver shared by the evaluators.
+        sketchrefine_config: Tuning knobs for SKETCHREFINE.
+        auto_direct_threshold: SKETCHREFINE needs a partitioning; at or below
+            this many tuples AUTO uses DIRECT regardless, because the whole
+            problem comfortably fits the solver.
+    """
 
     def __init__(
         self,
         database: Database | None = None,
         solver=None,
         sketchrefine_config: SketchRefineConfig | None = None,
+        auto_direct_threshold: int = 2_000,
     ):
-        self.database = database or Database()
+        # `database or ...` would discard a passed-in *empty* catalog
+        # (Database.__len__ makes it falsy) along with its configuration.
+        self.database = database if database is not None else Database()
+        self.auto_direct_threshold = int(auto_direct_threshold)
         self._solver = solver
         self._direct = DirectEvaluator(solver=solver)
         self._sketchrefine = SketchRefineEvaluator(solver=solver, config=sketchrefine_config)
@@ -120,14 +144,11 @@ class PackageQueryEngine:
                 partitionings of the same table can coexist.
         """
         table = self.database.table(table_name)
-        if method == "quadtree":
-            partitioner = QuadTreePartitioner(size_threshold, radius_limit)
-        elif method == "kdtree":
-            partitioner = KdTreePartitioner(size_threshold, radius_limit)
-        elif method == "kmeans":
-            partitioner = KMeansPartitioner(size_threshold)
-        else:
+        if not is_known_method(method):
             raise EvaluationError(f"unknown partitioning method {method!r}")
+        # Invalid parameters (e.g. size_threshold < 1) propagate as the
+        # partitioner constructors' own PartitioningError.
+        partitioner = make_partitioner(method, size_threshold, radius_limit)
         partitioning = partitioner.partition(table, attributes)
         self.database.register_partitioning(table_name, partitioning, label=label)
         return partitioning
@@ -137,6 +158,45 @@ class PackageQueryEngine:
     ) -> None:
         """Register a partitioning built elsewhere (e.g. loaded from disk)."""
         self.database.register_partitioning(table_name, partitioning, label=label)
+
+    def update_table(
+        self,
+        table_name: str,
+        delta: TableDelta | None = None,
+        *,
+        insert: Table | Iterable[Sequence | Mapping[str, object]] | None = None,
+        delete: np.ndarray | Sequence[int] | None = None,
+        policy: str | None = None,
+    ) -> TableUpdateResult:
+        """Absorb inserts/deletes into a registered table as one version bump.
+
+        Either pass a pre-built :class:`TableDelta`, or describe the change
+        with ``insert`` (a table or iterable of rows to append) and/or
+        ``delete`` (a boolean mask over the current rows, or row indices);
+        both applied together still count as a single new version.
+
+        Every partitioning registered for the table follows the
+        ``policy`` — ``"maintain"`` carries it through the delta
+        incrementally with its τ/ω guarantees intact, ``"stale"`` leaves it
+        at the old version, where AUTO refuses it until it is rebuilt, and
+        ``None`` defers to the catalog's ``maintenance_policy`` (which is
+        ``"maintain"`` for a default-constructed :class:`Database`).
+        Returns the catalog's :class:`TableUpdateResult` with the new table
+        and the per-label maintenance statistics.
+        """
+        if delta is not None and (insert is not None or delete is not None):
+            raise EvaluationError("pass either a delta or insert/delete rows, not both")
+        if policy is not None and policy not in MAINTENANCE_POLICIES:
+            raise EvaluationError(
+                f"unknown maintenance policy {policy!r} "
+                f"(expected one of {MAINTENANCE_POLICIES})"
+            )
+        if delta is None:
+            if insert is None and delete is None:
+                raise EvaluationError("update_table needs a delta, insert rows or delete rows")
+            table = self.database.table(table_name)
+            delta = table.make_delta(insert=insert, delete=delete)
+        return self.database.update_table(table_name, delta, policy=policy)
 
     # -- query execution -----------------------------------------------------------------------
 
@@ -166,10 +226,12 @@ class PackageQueryEngine:
 
         table = self.database.table(query.relation)
         validate_query(query, table.schema)
-        method = self._resolve_method(method, query, partitioning_label)
+        method, auto_note = self._resolve_method(method, query, partitioning_label)
 
         start = time.perf_counter()
         details: dict = {}
+        if auto_note is not None:
+            details["auto"] = auto_note
         if method is EvaluationMethod.DIRECT:
             package = self._direct.evaluate(table, query)
             details["direct_stats"] = self._direct.last_stats
@@ -199,20 +261,44 @@ class PackageQueryEngine:
 
     def _resolve_method(
         self, method: EvaluationMethod, query: PackageQuery, partitioning_label: str
-    ) -> EvaluationMethod:
+    ) -> tuple[EvaluationMethod, str | None]:
+        """Resolve AUTO to a concrete method, with an explanatory note when it
+        has to fall back to DIRECT (missing or stale partitioning)."""
         if method is not EvaluationMethod.AUTO:
-            return method
+            return method, None
         table = self.database.table(query.relation)
-        has_partitioning = self.database.has_partitioning(query.relation, partitioning_label)
-        if has_partitioning and table.num_rows > self._AUTO_DIRECT_THRESHOLD:
-            return EvaluationMethod.SKETCH_REFINE
-        return EvaluationMethod.DIRECT
+        name = query.relation
+        if table.num_rows <= self.auto_direct_threshold:
+            return EvaluationMethod.DIRECT, None
+        if not self.database.has_partitioning(name, partitioning_label):
+            return EvaluationMethod.DIRECT, (
+                f"no partitioning {partitioning_label!r} registered for table "
+                f"{name!r} ({table.num_rows} rows); falling back to DIRECT — "
+                "call build_partitioning() to enable SKETCHREFINE"
+            )
+        if self.database.is_partitioning_stale(name, partitioning_label):
+            partitioning = self.database.partitioning(name, partitioning_label)
+            return EvaluationMethod.DIRECT, (
+                f"partitioning {partitioning_label!r} for table {name!r} is stale "
+                f"(built for version {partitioning.version}, table is at version "
+                f"{table.version}); falling back to DIRECT — rebuild it with "
+                "build_partitioning()"
+            )
+        return EvaluationMethod.SKETCH_REFINE, None
 
     def _partitioning_for(self, query: PackageQuery, label: str) -> Partitioning:
         try:
-            return self.database.partitioning(query.relation, label)
+            partitioning = self.database.partitioning(query.relation, label)
         except CatalogError as exc:
             raise EvaluationError(
                 f"SKETCHREFINE needs an offline partitioning for table {query.relation!r}; "
                 "call build_partitioning() first"
             ) from exc
+        if self.database.is_partitioning_stale(query.relation, label):
+            table = self.database.table(query.relation)
+            raise StalePartitioningError(
+                f"partitioning {label!r} for table {query.relation!r} is stale: it "
+                f"describes version {partitioning.version} but the table is at "
+                f"version {table.version}; rebuild it with build_partitioning()"
+            )
+        return partitioning

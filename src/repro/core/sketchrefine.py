@@ -109,6 +109,12 @@ class SketchRefineStats:
     """Constraint rows removed by root presolve, summed over all solves."""
     presolve_ms: float = 0.0
     """Milliseconds spent in root presolve, summed over all solves."""
+    partitioning_version: int = 0
+    """Table version the partitioning this evaluation ran over describes."""
+    partitioning_maintenance: dict = field(default_factory=dict)
+    """Cumulative incremental-maintenance profile of that partitioning
+    (deltas applied, rows inserted/deleted, groups created/retired/re-split,
+    maintenance seconds) — all zero for a fresh offline build."""
 
 
 @dataclass
@@ -166,7 +172,11 @@ class SketchRefineEvaluator:
                 "the partitioning was built for a different table instance"
             )
         start = time.perf_counter()
-        stats = SketchRefineStats(num_groups=partitioning.num_groups)
+        stats = SketchRefineStats(
+            num_groups=partitioning.num_groups,
+            partitioning_version=partitioning.version,
+            partitioning_maintenance=partitioning.maintenance.as_dict(),
+        )
         self.last_stats = stats
         self._refine_basis = {}
 

@@ -7,7 +7,7 @@ PaQL engine, the partitioners) works exclusively through these classes.
 """
 
 from repro.dataset.schema import Column, DataType, Schema
-from repro.dataset.table import Table
+from repro.dataset.table import Table, TableDelta
 from repro.dataset.io import read_csv, write_csv, load_table, save_table
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "DataType",
     "Schema",
     "Table",
+    "TableDelta",
     "read_csv",
     "write_csv",
     "load_table",

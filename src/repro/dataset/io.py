@@ -71,6 +71,7 @@ def save_table(table: Table, path: str | Path) -> None:
     path = Path(path)
     meta = {
         "name": table.name,
+        "version": table.version,
         "columns": [
             {"name": c.name, "dtype": c.dtype.value, "nullable": c.nullable}
             for c in table.schema
@@ -107,7 +108,7 @@ def load_table(path: str | Path) -> Table:
                 ]
             else:
                 data[col.name] = values
-    return Table(schema, data, name=meta["name"])
+    return Table(schema, data, name=meta["name"], version=meta.get("version", 0))
 
 
 def _format_value(value: object, dtype: DataType) -> str:

@@ -8,10 +8,18 @@ materialised back into tables.
 Tables are immutable by convention: every operation returns a new ``Table``
 that shares column arrays where possible (NumPy fancy indexing copies, simple
 projections do not).
+
+Base relations registered in a catalog additionally carry a *version* number.
+Updates never mutate a table in place: :meth:`Table.append_rows` and
+:meth:`Table.delete_rows` return a new table at ``version + 1`` together with
+a :class:`TableDelta` describing exactly what changed (the inserted row block
+and the deleted-row mask), so downstream structures — partitionings, caches —
+can be maintained incrementally instead of rebuilt.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -20,6 +28,64 @@ from repro.dataset.schema import Column, DataType, Schema
 from repro.errors import ColumnNotFoundError, TableError
 
 _NULL_SENTINEL = None
+
+
+@dataclass(frozen=True)
+class TableDelta:
+    """One versioned change to a table: a block of inserts plus a delete mask.
+
+    The new relation is defined as the surviving base rows (those where
+    ``deleted_mask`` is False, in their original order) followed by the rows
+    of ``inserted``.  A delta is anchored to the version it was derived from,
+    so applying it to any other version is an error.
+    """
+
+    base_version: int
+    inserted: "Table"
+    deleted_mask: np.ndarray = field(repr=False)
+
+    def __post_init__(self):
+        mask = np.asarray(self.deleted_mask)
+        if mask.dtype != bool:
+            # An integer 0/1 array would silently flip semantics downstream
+            # (bitwise-NOT and fancy indexing instead of masking).
+            raise TableError(
+                f"deleted_mask must be a boolean array, got dtype {mask.dtype}"
+            )
+        object.__setattr__(self, "deleted_mask", mask)
+
+    @property
+    def new_version(self) -> int:
+        return self.base_version + 1
+
+    @property
+    def num_inserted(self) -> int:
+        return self.inserted.num_rows
+
+    @property
+    def num_deleted(self) -> int:
+        return int(np.count_nonzero(self.deleted_mask))
+
+    def surviving_rows(self) -> np.ndarray:
+        """Base-table row indices that survive the delta, in order."""
+        return np.nonzero(~self.deleted_mask)[0]
+
+    def row_remap(self) -> np.ndarray:
+        """Map old row index → new row index (−1 for deleted rows).
+
+        Inserted rows occupy the tail of the new table:
+        ``[num_survivors, num_survivors + num_inserted)``.
+        """
+        remap = np.full(len(self.deleted_mask), -1, dtype=np.int64)
+        survivors = self.surviving_rows()
+        remap[survivors] = np.arange(len(survivors), dtype=np.int64)
+        return remap
+
+    def __repr__(self) -> str:
+        return (
+            f"TableDelta(base_version={self.base_version}, "
+            f"inserted={self.num_inserted}, deleted={self.num_deleted})"
+        )
 
 
 class Table:
@@ -31,15 +97,19 @@ class Table:
             values.  All columns must have the same length and the mapping
             must cover exactly the schema's columns.
         name: Optional relation name, used in error messages and the catalog.
+        version: Version number of this snapshot of the relation.  Freshly
+            built tables are version 0; :meth:`append_rows` /
+            :meth:`delete_rows` / :meth:`apply_delta` bump it by one.
     """
 
-    __slots__ = ("_schema", "_columns", "name")
+    __slots__ = ("_schema", "_columns", "name", "version")
 
     def __init__(
         self,
         schema: Schema,
         columns: Mapping[str, Sequence | np.ndarray],
         name: str = "table",
+        version: int = 0,
     ):
         missing = [c for c in schema.names if c not in columns]
         extra = [c for c in columns if c not in schema]
@@ -63,8 +133,29 @@ class Table:
         self._schema = schema
         self._columns = arrays
         self.name = name
+        self.version = int(version)
 
     # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def _from_arrays(
+        cls,
+        schema: Schema,
+        arrays: dict[str, np.ndarray],
+        name: str,
+        version: int,
+    ) -> "Table":
+        """Fast internal constructor for arrays already in canonical form.
+
+        Skips per-column coercion/validation; callers must pass arrays that
+        came out of an existing table with the same schema.
+        """
+        table = cls.__new__(cls)
+        table._schema = schema
+        table._columns = arrays
+        table.name = name
+        table.version = int(version)
+        return table
 
     @classmethod
     def from_rows(
@@ -234,6 +325,127 @@ class Table:
         }
         return Table(self._schema, data, name=name or self.name)
 
+    # -- versioned updates ------------------------------------------------------
+
+    def append_rows(
+        self, rows: "Table" | Iterable[Sequence | Mapping[str, object]]
+    ) -> tuple["Table", TableDelta]:
+        """Append rows, returning the next version and the delta that made it.
+
+        ``rows`` may be another table with the same schema or an iterable of
+        row tuples/dicts.  The base table is untouched; unchanged data is
+        carried over without re-coercion or validation.
+        """
+        inserted = self._as_row_block(rows)
+        delta = TableDelta(
+            base_version=self.version,
+            inserted=inserted,
+            deleted_mask=np.zeros(self.num_rows, dtype=bool),
+        )
+        return self.apply_delta(delta), delta
+
+    def delete_rows(self, rows: np.ndarray | Sequence[int]) -> tuple["Table", TableDelta]:
+        """Delete rows (boolean mask or index array), returning ``(table, delta)``."""
+        mask = self._as_delete_mask(rows)
+        delta = TableDelta(
+            base_version=self.version,
+            inserted=Table.empty(self._schema, name=self.name),
+            deleted_mask=mask,
+        )
+        return self.apply_delta(delta), delta
+
+    def make_delta(
+        self,
+        insert: "Table" | Iterable[Sequence | Mapping[str, object]] | None = None,
+        delete: np.ndarray | Sequence[int] | None = None,
+    ) -> TableDelta:
+        """Describe a combined insert + delete change without applying it."""
+        inserted = (
+            self._as_row_block(insert)
+            if insert is not None
+            else Table.empty(self._schema, name=self.name)
+        )
+        mask = (
+            self._as_delete_mask(delete)
+            if delete is not None
+            else np.zeros(self.num_rows, dtype=bool)
+        )
+        return TableDelta(self.version, inserted, mask)
+
+    def update_rows(
+        self,
+        insert: "Table" | Iterable[Sequence | Mapping[str, object]] | None = None,
+        delete: np.ndarray | Sequence[int] | None = None,
+    ) -> tuple["Table", TableDelta]:
+        """Apply one combined insert + delete change as a single version bump."""
+        delta = self.make_delta(insert=insert, delete=delete)
+        return self.apply_delta(delta), delta
+
+    def apply_delta(self, delta: TableDelta) -> "Table":
+        """Return the table at ``delta.new_version``: survivors then inserts."""
+        if delta.base_version != self.version:
+            raise TableError(
+                f"delta targets version {delta.base_version}, table is at {self.version}"
+            )
+        if delta.deleted_mask.shape != (self.num_rows,):
+            raise TableError(
+                f"delete mask has shape {delta.deleted_mask.shape}, "
+                f"expected ({self.num_rows},)"
+            )
+        if delta.inserted.schema != self._schema:
+            raise TableError("inserted rows do not match the table schema")
+        keep = ~delta.deleted_mask
+        keep_all = bool(keep.all())
+        arrays: dict[str, np.ndarray] = {}
+        for col in self._schema.names:
+            base = self._columns[col]
+            survivors = base if keep_all else base[keep]
+            if delta.num_inserted:
+                arrays[col] = np.concatenate([survivors, delta.inserted._columns[col]])
+            else:
+                arrays[col] = survivors
+        return Table._from_arrays(self._schema, arrays, self.name, self.version + 1)
+
+    def _as_row_block(
+        self, rows: "Table" | Iterable[Sequence | Mapping[str, object]]
+    ) -> "Table":
+        if isinstance(rows, Table):
+            if rows.schema != self._schema:
+                raise TableError("appended table does not match the base schema")
+            return rows
+        return Table.from_rows(self._schema, rows, name=self.name)
+
+    def _as_delete_mask(self, rows: np.ndarray | Sequence[int]) -> np.ndarray:
+        array = np.asarray(rows)
+        if array.dtype == bool:
+            if array.shape != (self.num_rows,):
+                raise TableError(
+                    f"delete mask has shape {array.shape}, expected ({self.num_rows},)"
+                )
+            return array.copy()
+        if array.size == 0:
+            # An empty index list (whatever its dtype) deletes nothing.
+            return np.zeros(self.num_rows, dtype=bool)
+        if array.dtype.kind not in "iu":
+            raise TableError(
+                f"delete rows must be a boolean mask or integer indices, "
+                f"got dtype {array.dtype}"
+            )
+        idx = array.astype(np.int64, copy=False)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_rows):
+            raise TableError("row index out of range in delete_rows()")
+        if len(np.unique(idx)) != len(idx):
+            # Deleting an index twice is meaningless — and a repeated-value
+            # array is usually a 0/1 mask passed as ints, which would
+            # otherwise silently delete the wrong rows.
+            raise TableError(
+                "duplicate row indices in delete; to delete by mask, pass a "
+                "boolean array (dtype=bool)"
+            )
+        mask = np.zeros(self.num_rows, dtype=bool)
+        mask[idx] = True
+        return mask
+
     def drop_nulls(self, names: Sequence[str] | None = None) -> "Table":
         """Return a new table with rows containing NULLs in ``names`` removed.
 
@@ -277,7 +489,11 @@ class Table:
         return True
 
     def __repr__(self) -> str:
-        return f"Table(name={self.name!r}, rows={self.num_rows}, columns={list(self._schema.names)})"
+        version = f", version={self.version}" if self.version else ""
+        return (
+            f"Table(name={self.name!r}, rows={self.num_rows}, "
+            f"columns={list(self._schema.names)}{version})"
+        )
 
 
 def _coerce_column(raw: Sequence | np.ndarray, col: Column) -> np.ndarray:

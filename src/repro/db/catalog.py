@@ -4,38 +4,122 @@ The paper's system stores the input relation, the representative relation and
 the group-id column inside PostgreSQL.  :class:`Database` plays that role: it
 owns tables by name and remembers which offline partitionings were built for
 which table, so a query session can look them up at evaluation time.
+
+The catalog is *version-aware*: every table snapshot carries a version, every
+registered partitioning records the version it describes, and
+:meth:`Database.update_table` moves a table to its next version through a
+:class:`~repro.dataset.table.TableDelta` while either incrementally
+maintaining each registered partitioning (``policy="maintain"``, the default
+— no full re-partition on the hot path) or leaving it behind as *stale*
+(``policy="stale"``); stale partitionings are detected by comparing versions
+and refused by the engine's AUTO method.  :meth:`save`/:meth:`load`
+round-trip the tables *and* every registered partitioning (under
+``<table>.partitionings/<label>/``) with versions intact.
 """
 
 from __future__ import annotations
 
+import json
+import shutil
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import Iterator
 
 from repro.dataset.io import load_table, save_table
-from repro.dataset.table import Table
+from repro.dataset.table import Table, TableDelta
 from repro.errors import CatalogError
+from repro.partition.maintenance import MaintenanceStats, PartitionMaintainer
+from repro.partition.partitioning import Partitioning
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
-    from repro.partition.partitioning import Partitioning
+#: Suffix of the per-table partitioning directories written by :meth:`Database.save`.
+_PARTITIONINGS_SUFFIX = ".partitionings"
+
+#: Manifest recording, per catalog name, which tables a save wrote (scoping
+#: later cleanups to that catalog's own artifacts) and the catalog's
+#: configuration, so :meth:`Database.load` restores it.
+_MANIFEST_NAME = "_catalog_manifest.json"
+
+
+def _read_manifest(directory: Path) -> dict:
+    path = directory / _MANIFEST_NAME
+    if not path.is_file():
+        return {}
+    try:
+        manifest = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return {}
+    return manifest if isinstance(manifest, dict) else {}
+
+#: Valid per-update / per-database maintenance policies.
+MAINTENANCE_POLICIES = ("maintain", "stale")
+
+
+@dataclass
+class TableUpdateResult:
+    """Outcome of one :meth:`Database.update_table` call."""
+
+    table: Table
+    """The new table version now registered in the catalog."""
+
+    delta: TableDelta
+    """The delta that produced it."""
+
+    maintained: dict[str, MaintenanceStats] = field(default_factory=dict)
+    """Per-label maintenance profile of every partitioning carried along."""
+
+    stale_labels: list[str] = field(default_factory=list)
+    """Labels of partitionings left behind (now stale) by the policy."""
 
 
 class Database:
-    """An in-memory catalog of named tables and their partitionings."""
+    """An in-memory catalog of named tables and their partitionings.
 
-    def __init__(self, name: str = "repro"):
+    Args:
+        name: Catalog name (used in ``repr`` only).
+        maintenance_policy: What :meth:`update_table` does with registered
+            partitionings by default — ``"maintain"`` carries them through the
+            delta incrementally, ``"stale"`` leaves them at the old version.
+        maintainer: The :class:`PartitionMaintainer` used for maintenance
+            (default: a fresh one with the partitionings' own partitioners).
+    """
+
+    def __init__(
+        self,
+        name: str = "repro",
+        maintenance_policy: str = "maintain",
+        maintainer: PartitionMaintainer | None = None,
+    ):
+        if maintenance_policy not in MAINTENANCE_POLICIES:
+            raise CatalogError(
+                f"unknown maintenance policy {maintenance_policy!r} "
+                f"(expected one of {MAINTENANCE_POLICIES})"
+            )
         self.name = name
+        self.maintenance_policy = maintenance_policy
+        self.maintainer = maintainer or PartitionMaintainer()
         self._tables: dict[str, Table] = {}
-        self._partitionings: dict[tuple[str, str], "Partitioning"] = {}
+        self._partitionings: dict[tuple[str, str], Partitioning] = {}
 
     # -- tables ----------------------------------------------------------------
 
     def create_table(self, table: Table, name: str | None = None, replace: bool = False) -> Table:
         """Register ``table`` in the catalog under ``name`` (default: table.name)."""
         table_name = name or table.name
-        if table_name in self._tables and not replace:
-            raise CatalogError(f"table {table_name!r} already exists")
+        if table_name in self._tables:
+            if not replace:
+                raise CatalogError(f"table {table_name!r} already exists")
+            # Out-of-band replacement does not bump versions, so registered
+            # partitionings can no longer be trusted (or even shape-checked)
+            # against the new table: drop them, as drop_table would.
+            for key in [k for k in self._partitionings if k[0] == table_name]:
+                del self._partitionings[key]
         if name is not None and name != table.name:
-            table = Table(table.schema, {c: table.column(c) for c in table.schema.names}, name=name)
+            table = Table(
+                table.schema,
+                {c: table.column(c) for c in table.schema.names},
+                name=name,
+                version=table.version,
+            )
         self._tables[table_name] = table
         return table
 
@@ -71,17 +155,63 @@ class Database:
     def __len__(self) -> int:
         return len(self._tables)
 
+    # -- versioned updates -------------------------------------------------------
+
+    def update_table(
+        self, name: str, delta: TableDelta, policy: str | None = None
+    ) -> TableUpdateResult:
+        """Move table ``name`` to its next version through ``delta``.
+
+        Every partitioning registered for the table is either maintained
+        through the delta (``policy="maintain"``) — so it describes the new
+        version and keeps its τ/ω guarantees — or left at its old version
+        (``policy="stale"``), where version comparison marks it stale until
+        it is rebuilt or re-registered.  ``policy=None`` uses the catalog's
+        :attr:`maintenance_policy`.
+        """
+        policy = self.maintenance_policy if policy is None else policy
+        if policy not in MAINTENANCE_POLICIES:
+            raise CatalogError(
+                f"unknown maintenance policy {policy!r} "
+                f"(expected one of {MAINTENANCE_POLICIES})"
+            )
+        table = self.table(name)
+        new_table = table.apply_delta(delta)
+
+        # Maintain first, commit last: a failure mid-maintenance (a broken
+        # custom maintainer, a pathological re-split) must leave the catalog
+        # exactly as it was, so the caller can retry the same delta.
+        result = TableUpdateResult(table=new_table, delta=delta)
+        updated: dict[tuple[str, str], Partitioning] = {}
+        for (table_name, label), partitioning in sorted(self._partitionings.items()):
+            if table_name != name:
+                continue
+            # A partitioning that already lags the pre-update version cannot
+            # be carried through this delta (deltas are anchored to the
+            # current version): it stays stale until rebuilt.
+            if policy == "maintain" and partitioning.version == delta.base_version:
+                maintained, stats = self.maintainer.maintain(
+                    partitioning, new_table, delta
+                )
+                updated[(table_name, label)] = maintained
+                result.maintained[label] = stats
+            else:
+                result.stale_labels.append(label)
+        self._tables[name] = new_table
+        self._partitionings.update(updated)
+        return result
+
     # -- partitionings -----------------------------------------------------------
 
     def register_partitioning(
-        self, table_name: str, partitioning: "Partitioning", label: str = "default"
+        self, table_name: str, partitioning: Partitioning, label: str = "default"
     ) -> None:
         """Associate an offline partitioning with a table under ``label``."""
         if table_name not in self._tables:
             raise CatalogError(f"cannot register partitioning: table {table_name!r} not found")
         self._partitionings[(table_name, label)] = partitioning
 
-    def partitioning(self, table_name: str, label: str = "default") -> "Partitioning":
+    def partitioning(self, table_name: str, label: str = "default") -> Partitioning:
         """Return the partitioning registered for ``table_name`` under ``label``."""
         try:
             return self._partitionings[(table_name, label)]
@@ -96,25 +226,100 @@ class Database:
     def partitioning_labels(self, table_name: str) -> list[str]:
         return sorted(label for (t, label) in self._partitionings if t == table_name)
 
+    def partitioning_version(self, table_name: str, label: str = "default") -> int:
+        """The table version the registered partitioning describes."""
+        return self.partitioning(table_name, label).version
+
+    def is_partitioning_stale(self, table_name: str, label: str = "default") -> bool:
+        """Whether the partitioning lags behind the table's current version."""
+        return self.partitioning(table_name, label).version != self.table(table_name).version
+
     # -- persistence ---------------------------------------------------------------
 
-    def save(self, directory: str | Path) -> None:
-        """Persist every table to ``directory`` as one NPZ file per table."""
+    def save(self, directory: str | Path) -> list[tuple[str, str]]:
+        """Persist the catalog: one NPZ per table, one subdirectory per
+        registered partitioning under ``<table>.partitionings/<label>/``.
+
+        Only partitionings describing their table's *current* version are
+        persisted: a stale partitioning is anchored to a table version that
+        no longer exists in the catalog, so there is nothing valid to restore
+        it against — rebuilding (or maintaining before saving) is the
+        recourse, exactly as at runtime.  The skipped ``(table, label)``
+        pairs are returned so callers can see what was not persisted.
+
+        Catalogs may share a directory (each cleans up only the artifacts
+        its own manifest entry records), but the table-file namespace is
+        per-directory: catalogs sharing a directory must use disjoint table
+        names, or their ``<table>.npz`` files overwrite each other.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        # Remove artifacts of tables a *previous save of this catalog* wrote
+        # but that have since been dropped, so a re-save does not resurrect
+        # them at load time.  The manifest is keyed by catalog name, scoping
+        # the cleanup: files this catalog never wrote (a user's unrelated
+        # .npz, a different catalog sharing the directory) are left alone.
+        manifest = _read_manifest(directory)
+        catalogs = manifest.setdefault("catalogs", {})
+        previously_saved = set(catalogs.get(self.name, {}).get("tables", []))
+        for name in previously_saved - set(self._tables):
+            (directory / f"{name}.npz").unlink(missing_ok=True)
+            stale_dir = directory / f"{name}{_PARTITIONINGS_SUFFIX}"
+            if stale_dir.is_dir():
+                shutil.rmtree(stale_dir)
         for name, table in self._tables.items():
             save_table(table, directory / f"{name}.npz")
+            partitionings_dir = directory / f"{name}{_PARTITIONINGS_SUFFIX}"
+            if partitionings_dir.exists():
+                shutil.rmtree(partitionings_dir)
+        skipped: list[tuple[str, str]] = []
+        for (table_name, label), partitioning in self._partitionings.items():
+            if partitioning.version != self.table(table_name).version:
+                skipped.append((table_name, label))
+                continue
+            partitioning.save(directory / f"{table_name}{_PARTITIONINGS_SUFFIX}" / label)
+        catalogs[self.name] = {
+            "tables": sorted(self._tables),
+            "maintenance_policy": self.maintenance_policy,
+        }
+        (directory / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        return skipped
 
     @classmethod
     def load(cls, directory: str | Path, name: str = "repro") -> "Database":
-        """Load every ``.npz`` table found in ``directory`` into a new catalog."""
+        """Load the tables — and their persisted partitionings — from ``directory``.
+
+        If the directory's manifest has an entry for ``name``, the catalog's
+        configuration (its maintenance policy) is restored from it and only
+        *that catalog's* tables are loaded, so catalogs sharing a directory
+        stay isolated.  Without a manifest entry, every ``.npz`` in the
+        directory is loaded.  Partitioning directories that do not match a
+        loaded table (another catalog's, or orphaned artifacts) are skipped,
+        mirroring :meth:`save`'s tolerance of foreign files.
+        """
         directory = Path(directory)
         if not directory.is_dir():
             raise CatalogError(f"{directory} is not a directory")
-        db = cls(name=name)
+        entry = _read_manifest(directory).get("catalogs", {}).get(name)
+        db = cls(
+            name=name,
+            maintenance_policy=(entry or {}).get("maintenance_policy", "maintain"),
+        )
+        own_tables = set(entry["tables"]) if entry is not None else None
         for path in sorted(directory.glob("*.npz")):
+            if own_tables is not None and path.stem not in own_tables:
+                continue
             table = load_table(path)
             db.create_table(table, name=path.stem, replace=True)
+        for partitionings_dir in sorted(directory.glob(f"*{_PARTITIONINGS_SUFFIX}")):
+            if not partitionings_dir.is_dir():
+                continue
+            table_name = partitionings_dir.name[: -len(_PARTITIONINGS_SUFFIX)]
+            if table_name not in db:
+                continue
+            for label_dir in sorted(p for p in partitionings_dir.iterdir() if p.is_dir()):
+                partitioning = Partitioning.load(label_dir, db.table(table_name))
+                db.register_partitioning(table_name, partitioning, label=label_dir.name)
         return db
 
     def __repr__(self) -> str:

@@ -102,3 +102,14 @@ class TranslationError(ReproError):
 
 class EvaluationError(ReproError):
     """A package evaluation strategy failed for a non-infeasibility reason."""
+
+
+class StalePartitioningError(EvaluationError):
+    """A partitioning was requested for a table version it does not describe.
+
+    Raised when SKETCHREFINE is explicitly asked to run over a partitioning
+    whose recorded table version lags the catalog's current version (the
+    table was updated under the ``"stale"`` maintenance policy).  Once stale,
+    a partitioning cannot be caught up — deltas anchor to the current table
+    version — so rebuilding it is the recourse.
+    """

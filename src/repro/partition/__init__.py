@@ -16,19 +16,37 @@ provides:
 * :mod:`~repro.partition.radius` — Equation (1): the radius limit ω required
   for a desired approximation parameter ε,
 * :mod:`~repro.partition.representatives` — centroid computation and the
-  representative relation ``R̃(gid, attr₁, …, attr_k)``.
+  representative relation ``R̃(gid, attr₁, …, attr_k)``,
+* :mod:`~repro.partition.maintenance` —
+  :class:`~repro.partition.maintenance.PartitionMaintainer`, which carries a
+  partitioning through :class:`~repro.dataset.table.TableDelta` streams
+  online (nearest-group insert assignment, local re-splits past τ/ω,
+  delta-updated centroids and radii) instead of rebuilding.
 """
 
-from repro.partition.partitioning import Partitioning, PartitioningStats
+from repro.partition.partitioning import (
+    MaintenanceProfile,
+    Partitioning,
+    PartitioningStats,
+)
 from repro.partition.quadtree import QuadTreePartitioner
 from repro.partition.kdtree import KdTreePartitioner
 from repro.partition.kmeans import KMeansPartitioner
+from repro.partition.maintenance import (
+    MaintenanceStats,
+    PartitionMaintainer,
+    make_partitioner,
+)
 from repro.partition.radius import omega_for_epsilon, epsilon_for_omega
 from repro.partition.representatives import build_representative_table, compute_centroids
 
 __all__ = [
     "Partitioning",
     "PartitioningStats",
+    "MaintenanceProfile",
+    "MaintenanceStats",
+    "PartitionMaintainer",
+    "make_partitioner",
     "QuadTreePartitioner",
     "KdTreePartitioner",
     "KMeansPartitioner",

@@ -15,7 +15,12 @@ import numpy as np
 
 from repro.dataset.table import Table
 from repro.errors import PartitioningError
-from repro.partition.partitioning import Partitioning, PartitioningStats
+from repro.partition.partitioning import (
+    BUILD_RADIUS_TOLERANCE,
+    Partitioning,
+    PartitioningStats,
+)
+from repro.partition.representatives import null_aware_centroid as _null_aware_centroid
 
 
 class KdTreePartitioner:
@@ -34,15 +39,22 @@ class KdTreePartitioner:
             raise PartitioningError("at least one partitioning attribute is required")
         table.schema.require_numeric(attributes)
         start = time.perf_counter()
-        matrix = np.nan_to_num(table.numeric_matrix(attributes))
+        raw_matrix = table.numeric_matrix(attributes)
+        matrix = np.nan_to_num(raw_matrix)
         n = table.num_rows
         group_ids = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            stats = PartitioningStats(
+                0, 0, 0.0, time.perf_counter() - start,
+                self.size_threshold, self.radius_limit, "kdtree",
+            )
+            return Partitioning(table, group_ids, list(attributes), stats)
 
         final_groups: list[np.ndarray] = []
         stack: list[tuple[np.ndarray, int]] = [(np.arange(n, dtype=np.int64), 0)]
         while stack:
             rows, depth = stack.pop()
-            if self._is_acceptable(matrix, rows) or depth >= self.max_depth:
+            if self._is_acceptable(matrix, raw_matrix, rows) or depth >= self.max_depth:
                 final_groups.append(rows)
                 continue
             left, right = self._median_split(matrix, rows, depth % len(attributes))
@@ -55,7 +67,8 @@ class KdTreePartitioner:
         for gid, rows in enumerate(final_groups):
             group_ids[rows] = gid
 
-        sizes = np.array([len(rows) for rows in final_groups]) if final_groups else np.array([0])
+        # n > 0 here, so there is always at least one (single-group) entry.
+        sizes = np.array([len(rows) for rows in final_groups])
         stats = PartitioningStats(
             num_groups=len(final_groups),
             max_group_size=int(sizes.max()),
@@ -69,14 +82,18 @@ class KdTreePartitioner:
         stats.max_radius = partitioning.max_radius()
         return partitioning
 
-    def _is_acceptable(self, matrix: np.ndarray, rows: np.ndarray) -> bool:
+    def _is_acceptable(
+        self, matrix: np.ndarray, raw_matrix: np.ndarray, rows: np.ndarray
+    ) -> bool:
         if len(rows) > self.size_threshold:
             return False
         if self.radius_limit is None:
             return True
+        # Radius under the published metric: zero-filled values against the
+        # NULL-excluding centroid (see QuadTreePartitioner._radius).
         chunk = matrix[rows]
-        centroid = chunk.mean(axis=0)
-        return float(np.abs(chunk - centroid).max()) <= self.radius_limit + 1e-12
+        centroid = _null_aware_centroid(raw_matrix[rows])
+        return float(np.abs(chunk - centroid).max()) <= self.radius_limit + BUILD_RADIUS_TOLERANCE
 
     def _median_split(
         self, matrix: np.ndarray, rows: np.ndarray, preferred_axis: int

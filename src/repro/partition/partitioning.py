@@ -6,21 +6,42 @@ attributes) per group.  The paper stores the gid in an extra column of the
 input table and the representatives in a separate relation
 ``R̃(gid, attr₁, …, attr_k)``; this class mirrors that design while also
 keeping the per-group row index lists that SKETCHREFINE's refine step needs.
+
+A partitioning is *versioned*: it records the :attr:`~repro.dataset.table
+.Table.version` of the table it describes.  When the base relation changes,
+:meth:`with_delta` carries the partitioning to the next table version without
+a rebuild — surviving rows keep their groups, inserted rows arrive with a
+caller-chosen group assignment, emptied groups are retired, and the per-group
+statistics (centroid moments and radii) are updated from the delta alone:
+only groups actually touched by the change are rescanned.  Enforcing the τ/ω
+guarantees on top of that remap (re-splitting overflowing groups) is the job
+of :class:`repro.partition.maintenance.PartitionMaintainer`.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
 from repro.dataset.io import load_table, save_table
-from repro.dataset.schema import Column, DataType, Schema
-from repro.dataset.table import Table
+from repro.dataset.schema import Column, DataType
+from repro.dataset.table import Table, TableDelta
 from repro.errors import PartitioningError
-from repro.partition.representatives import build_representative_table
+from repro.partition.representatives import (
+    centroid_moments,
+    centroids_from_moments,
+    group_radii,
+    representative_table_from_centroids,
+)
+
+
+#: Float slack applied when the partitioners (and the maintainer's re-split
+#: check) compare a group radius against the ω limit — one constant so a
+#: maintained partitioning enforces exactly the bound a fresh build does.
+BUILD_RADIUS_TOLERANCE = 1e-12
 
 
 @dataclass
@@ -36,6 +57,47 @@ class PartitioningStats:
     method: str
 
 
+@dataclass
+class MaintenanceProfile:
+    """Cumulative record of the incremental maintenance a partitioning absorbed.
+
+    Starts all-zero for a fresh build; every maintained delta increments it.
+    Surfaced through ``SketchRefineStats`` so a query result names exactly
+    which state of the data plane it ran against.
+    """
+
+    deltas_applied: int = 0
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    groups_created: int = 0
+    groups_retired: int = 0
+    groups_resplit: int = 0
+    maintain_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def densify_group_ids(
+    group_ids: np.ndarray, num_slots: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact a gid assignment with holes into dense ids ``0..G-1``.
+
+    Returns ``(dense_ids, kept_slots_mask, remap)`` where ``kept_slots_mask``
+    marks the old slots that still have members (use it to slice per-group
+    stat arrays) and ``remap[old_gid]`` is the new gid (−1 for retired slots).
+    """
+    occupied = np.zeros(num_slots, dtype=bool)
+    if len(group_ids):
+        occupied[group_ids] = True
+    if occupied.all():
+        return group_ids, occupied, np.arange(num_slots, dtype=np.int64)
+    remap = np.full(num_slots, -1, dtype=np.int64)
+    remap[occupied] = np.arange(int(occupied.sum()), dtype=np.int64)
+    dense = remap[group_ids] if len(group_ids) else group_ids.copy()
+    return dense, occupied, remap
+
+
 class Partitioning:
     """Group assignment + representative relation for one input table."""
 
@@ -45,6 +107,9 @@ class Partitioning:
         group_ids: np.ndarray,
         attributes: list[str],
         stats: PartitioningStats,
+        *,
+        version: int | None = None,
+        maintenance: MaintenanceProfile | None = None,
     ):
         group_ids = np.asarray(group_ids, dtype=np.int64)
         if group_ids.shape != (table.num_rows,):
@@ -53,30 +118,79 @@ class Partitioning:
             )
         if len(group_ids) and group_ids.min() < 0:
             raise PartitioningError("group ids must be non-negative")
+        # The per-group caches are lazy, but a bad attribute list should
+        # still fail here, not mid-query on first representatives access.
+        table.schema.require_numeric(attributes)
         self.table = table
         self.group_ids = group_ids
         self.attributes = list(attributes)
         self.stats = stats
+        self.version = table.version if version is None else int(version)
+        self.maintenance = maintenance or MaintenanceProfile()
 
-        self._group_rows: dict[int, np.ndarray] = {}
-        order = np.argsort(group_ids, kind="stable")
-        sorted_ids = group_ids[order]
-        boundaries = np.searchsorted(sorted_ids, np.arange(self.num_groups + 1))
-        for gid in range(self.num_groups):
-            self._group_rows[gid] = order[boundaries[gid] : boundaries[gid + 1]]
+        self._num_groups = int(group_ids.max()) + 1 if len(group_ids) else 0
+        # Per-group caches, all lazy so a delta-maintained partitioning can
+        # install exact carried-over values instead of recomputing O(n):
+        self._group_rows: dict[int, np.ndarray] | None = None
+        self._moments: tuple[np.ndarray, np.ndarray] | None = None  # (sums, counts)
+        self._radii: np.ndarray | None = None
+        self._representatives: Table | None = None
 
-        self.representatives = build_representative_table(table, group_ids, self.attributes)
+    @classmethod
+    def _finalize_maintained(
+        cls,
+        table: Table,
+        group_ids: np.ndarray,
+        attributes: list[str],
+        stats: PartitioningStats,
+        *,
+        moments: tuple[np.ndarray, np.ndarray],
+        radii: np.ndarray,
+        version: int,
+        maintenance: MaintenanceProfile,
+    ) -> "Partitioning":
+        """Shared tail of every maintenance path: derive the size/radius
+        aggregates of ``stats`` and build a partitioning whose per-group
+        caches are installed from the carried components (the caller
+        guarantees ``moments`` and ``radii`` describe exactly the dense ids
+        in ``group_ids``)."""
+        num_groups = moments[0].shape[0]
+        sizes = np.bincount(group_ids, minlength=num_groups)
+        stats = replace(
+            stats,
+            num_groups=num_groups,
+            max_group_size=int(sizes.max()) if len(sizes) else 0,
+            max_radius=float(radii.max()) if len(radii) else 0.0,
+            build_seconds=0.0,
+        )
+        partitioning = cls(
+            table, group_ids, attributes, stats, version=version, maintenance=maintenance
+        )
+        partitioning._moments = moments
+        partitioning._radii = radii
+        return partitioning
 
     # -- group access ------------------------------------------------------------------
 
     @property
     def num_groups(self) -> int:
-        return int(self.group_ids.max()) + 1 if len(self.group_ids) else 0
+        return self._num_groups
+
+    def _ensure_group_rows(self) -> dict[int, np.ndarray]:
+        if self._group_rows is None:
+            order = np.argsort(self.group_ids, kind="stable")
+            sorted_ids = self.group_ids[order]
+            boundaries = np.searchsorted(sorted_ids, np.arange(self.num_groups + 1))
+            self._group_rows = {
+                gid: order[boundaries[gid] : boundaries[gid + 1]]
+                for gid in range(self.num_groups)
+            }
+        return self._group_rows
 
     def group_rows(self, gid: int) -> np.ndarray:
         """Row indices of the original table belonging to group ``gid``."""
         try:
-            return self._group_rows[gid]
+            return self._ensure_group_rows()[gid]
         except KeyError:
             raise PartitioningError(f"group {gid} does not exist") from None
 
@@ -85,24 +199,49 @@ class Partitioning:
 
     def group_sizes(self) -> np.ndarray:
         """Array of group sizes indexed by gid."""
-        return np.array([len(self._group_rows[g]) for g in range(self.num_groups)], dtype=np.int64)
+        return np.bincount(self.group_ids, minlength=self.num_groups).astype(np.int64)
+
+    def group_centroid_moments(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-group ``(sums, counts)`` of valid attribute values (do not mutate)."""
+        if self._moments is None:
+            self._moments = centroid_moments(
+                self.table, self.group_ids, self.attributes, self.num_groups
+            )
+        return self._moments
+
+    def group_centroids(self) -> np.ndarray:
+        """The ``(num_groups, k)`` centroid matrix over the partitioning attributes."""
+        sums, counts = self.group_centroid_moments()
+        return centroids_from_moments(sums, counts)
+
+    @property
+    def representatives(self) -> Table:
+        """The representative relation ``R̃(gid, attr₁, …, attr_k)``."""
+        if self._representatives is None:
+            self._representatives = representative_table_from_centroids(
+                self.group_centroids(), self.attributes, self.table.name
+            )
+        return self._representatives
+
+    def group_radii_array(self) -> np.ndarray:
+        """Per-group radii indexed by gid (do not mutate)."""
+        if self._radii is None:
+            self._radii = group_radii(
+                self.table, self.group_ids, self.attributes, centroids=self.group_centroids()
+            )
+        return self._radii
 
     def group_radius(self, gid: int) -> float:
         """The radius of group ``gid``: max |centroid.attr − tuple.attr| over attributes."""
-        rows = self.group_rows(gid)
-        if not len(rows):
-            return 0.0
-        matrix = self.table.numeric_matrix(self.attributes)[rows]
-        centroid = np.asarray(
-            [self.representatives.numeric_column(a)[gid] for a in self.attributes]
-        )
-        return float(np.abs(matrix - centroid).max())
+        if not 0 <= gid < self.num_groups:
+            raise PartitioningError(f"group {gid} does not exist")
+        return float(self.group_radii_array()[gid])
 
     def max_radius(self) -> float:
         """Largest group radius in the partitioning."""
         if self.num_groups == 0:
             return 0.0
-        return max(self.group_radius(g) for g in range(self.num_groups))
+        return float(self.group_radii_array().max())
 
     def satisfies_size_threshold(self, tau: int) -> bool:
         """Whether every group has at most ``tau`` tuples."""
@@ -145,6 +284,133 @@ class Partitioning:
         )
         return Partitioning(sub_table, new_ids, self.attributes, stats)
 
+    def with_delta(
+        self,
+        new_table: Table,
+        delta: TableDelta,
+        inserted_group_ids: np.ndarray,
+    ) -> "Partitioning":
+        """Carry this partitioning to ``new_table`` through ``delta``.
+
+        Surviving rows keep their groups, inserted rows join the (existing)
+        groups named by ``inserted_group_ids``, groups emptied by deletions
+        are retired, and centroid moments are updated from the delta alone —
+        only groups actually touched by the change get their radius rescanned.
+
+        The result matches a from-scratch recompute of the same assignment
+        (untouched groups bit-identically; touched groups within
+        floating-point accumulation tolerance, since their moments are
+        updated by subtract/add rather than re-summed) but makes no τ/ω
+        promise: groups may overflow the size threshold.  :class:`~repro.partition.maintenance
+        .PartitionMaintainer` restores the build guarantees on top.
+        """
+        if delta.base_version != self.version:
+            raise PartitioningError(
+                f"delta targets table version {delta.base_version}, "
+                f"partitioning is at version {self.version}"
+            )
+        if new_table.version != delta.new_version:
+            raise PartitioningError(
+                f"new table is at version {new_table.version}, "
+                f"expected {delta.new_version}"
+            )
+        if delta.deleted_mask.shape != (self.table.num_rows,):
+            raise PartitioningError("delta delete mask does not match the base table")
+        inserted_group_ids = np.asarray(inserted_group_ids, dtype=np.int64)
+        if inserted_group_ids.shape != (delta.num_inserted,):
+            raise PartitioningError(
+                f"inserted_group_ids has shape {inserted_group_ids.shape}, "
+                f"expected ({delta.num_inserted},)"
+            )
+        num_slots = self.num_groups
+        if len(inserted_group_ids) and (
+            inserted_group_ids.min() < 0 or inserted_group_ids.max() >= num_slots
+        ):
+            raise PartitioningError("inserted rows must be assigned to existing groups")
+
+        keep = ~delta.deleted_mask
+        survivor_ids = self.group_ids[keep]
+        raw_ids = (
+            np.concatenate([survivor_ids, inserted_group_ids])
+            if len(inserted_group_ids)
+            else survivor_ids
+        )
+
+        # Delta-update the centroid moments: subtract the deleted tuples'
+        # contributions, add the inserted ones.
+        sums, counts = self.group_centroid_moments()
+        sums, counts = sums.copy(), counts.copy()
+        deleted_gids = self.group_ids[delta.deleted_mask]
+        dirty = np.union1d(np.unique(deleted_gids), np.unique(inserted_group_ids))
+        for j, attribute in enumerate(self.attributes):
+            if delta.num_deleted:
+                values = self.table.numeric_column(attribute)[delta.deleted_mask]
+                valid = ~np.isnan(values)
+                sums[:, j] -= np.bincount(
+                    deleted_gids[valid], weights=values[valid], minlength=num_slots
+                )
+                counts[:, j] -= np.bincount(deleted_gids[valid], minlength=num_slots)
+            if delta.num_inserted:
+                values = delta.inserted.numeric_column(attribute)
+                valid = ~np.isnan(values)
+                sums[:, j] += np.bincount(
+                    inserted_group_ids[valid], weights=values[valid], minlength=num_slots
+                )
+                counts[:, j] += np.bincount(inserted_group_ids[valid], minlength=num_slots)
+
+        new_ids, kept_slots, remap = densify_group_ids(raw_ids, num_slots)
+        sums, counts = sums[kept_slots], counts[kept_slots]
+        centroids = centroids_from_moments(sums, counts)
+
+        # Radii: untouched groups keep their cached value (their centroid is
+        # bit-identical); touched groups are rescanned over their members only.
+        radii = self.group_radii_array()[kept_slots].copy()
+        dirty_remapped = remap[dirty] if len(dirty) else dirty
+        dirty_dense = dirty_remapped[dirty_remapped >= 0]
+        if len(dirty_dense):
+            radii[dirty_dense] = 0.0
+            dirty_lookup = np.zeros(len(radii), dtype=bool)
+            dirty_lookup[dirty_dense] = True
+            member_rows = np.nonzero(dirty_lookup[new_ids])[0]
+            if len(member_rows) and self.attributes:
+                member_gids = new_ids[member_rows]
+                # NULL (NaN) values are zero-filled, matching group_radii and
+                # the partitioners' build-time radius metric.
+                member_matrix = np.nan_to_num(
+                    np.column_stack(
+                        [new_table.numeric_column(a)[member_rows] for a in self.attributes]
+                    )
+                )
+                per_row = np.abs(member_matrix - centroids[member_gids]).max(axis=1)
+                # Segmented max per dirty group: members arrive ordered only
+                # within the survivor/insert halves, so sort by gid once and
+                # reduceat — much cheaper than element-wise maximum.at.
+                order = np.argsort(member_gids, kind="stable")
+                sorted_gids = member_gids[order]
+                starts = np.nonzero(
+                    np.diff(sorted_gids, prepend=sorted_gids[0] - 1)
+                )[0]
+                radii[sorted_gids[starts]] = np.maximum.reduceat(per_row[order], starts)
+
+        maintenance = replace(
+            self.maintenance,
+            deltas_applied=self.maintenance.deltas_applied + 1,
+            rows_inserted=self.maintenance.rows_inserted + delta.num_inserted,
+            rows_deleted=self.maintenance.rows_deleted + delta.num_deleted,
+            groups_retired=self.maintenance.groups_retired
+            + int(num_slots - kept_slots.sum()),
+        )
+        return Partitioning._finalize_maintained(
+            new_table,
+            new_ids,
+            self.attributes,
+            self.stats,
+            moments=(sums, counts),
+            radii=radii,
+            version=delta.new_version,
+            maintenance=maintenance,
+        )
+
     # -- persistence -----------------------------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:
@@ -155,6 +421,8 @@ class Partitioning:
         save_table(self.representatives, directory / "representatives.npz")
         metadata = {
             "attributes": self.attributes,
+            "version": self.version,
+            "maintenance": self.maintenance.as_dict(),
             "stats": {
                 "num_groups": self.stats.num_groups,
                 "max_group_size": self.stats.max_group_size,
@@ -178,7 +446,15 @@ class Partitioning:
         group_ids = np.load(directory / "group_ids.npy")
         metadata = json.loads((directory / "metadata.json").read_text())
         stats = PartitioningStats(**metadata["stats"])
-        partitioning = cls(table, group_ids, metadata["attributes"], stats)
+        maintenance = MaintenanceProfile(**metadata.get("maintenance", {}))
+        partitioning = cls(
+            table,
+            group_ids,
+            metadata["attributes"],
+            stats,
+            version=metadata.get("version", table.version),
+            maintenance=maintenance,
+        )
         # Representatives are recomputed deterministically from the data, so
         # the persisted copy is only used as a consistency check.
         persisted = load_table(directory / "representatives.npz")
@@ -192,5 +468,5 @@ class Partitioning:
     def __repr__(self) -> str:
         return (
             f"Partitioning(groups={self.num_groups}, attributes={self.attributes}, "
-            f"method={self.stats.method!r})"
+            f"method={self.stats.method!r}, version={self.version})"
         )

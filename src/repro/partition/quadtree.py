@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.dataset.table import Table
 from repro.errors import PartitioningError
-from repro.partition.partitioning import Partitioning, PartitioningStats
+from repro.partition.partitioning import (
+    BUILD_RADIUS_TOLERANCE,
+    Partitioning,
+    PartitioningStats,
+)
+from repro.partition.representatives import null_aware_centroid as _null_aware_centroid
 
 
 @dataclass
@@ -63,7 +68,8 @@ class QuadTreePartitioner:
         table.schema.require_numeric(attributes)
         start = time.perf_counter()
 
-        matrix = np.nan_to_num(table.numeric_matrix(attributes))
+        raw_matrix = table.numeric_matrix(attributes)
+        matrix = np.nan_to_num(raw_matrix)
         n = table.num_rows
         group_ids = np.zeros(n, dtype=np.int64)
         if n == 0:
@@ -76,7 +82,7 @@ class QuadTreePartitioner:
         while pending:
             group = pending.pop()
             rows = group.rows
-            if self._is_acceptable(matrix, rows) or group.depth >= self.max_depth:
+            if self._is_acceptable(matrix, raw_matrix, rows) or group.depth >= self.max_depth:
                 final_groups.append(rows)
                 continue
             children = self._split(matrix, rows)
@@ -107,17 +113,23 @@ class QuadTreePartitioner:
 
     # -- internals -------------------------------------------------------------------------
 
-    def _is_acceptable(self, matrix: np.ndarray, rows: np.ndarray) -> bool:
+    def _is_acceptable(
+        self, matrix: np.ndarray, raw_matrix: np.ndarray, rows: np.ndarray
+    ) -> bool:
         if len(rows) > self.size_threshold:
             return False
         if self.radius_limit is None:
             return True
-        return self._radius(matrix, rows) <= self.radius_limit + 1e-12
+        return self._radius(matrix, raw_matrix, rows) <= self.radius_limit + BUILD_RADIUS_TOLERANCE
 
     @staticmethod
-    def _radius(matrix: np.ndarray, rows: np.ndarray) -> float:
+    def _radius(matrix: np.ndarray, raw_matrix: np.ndarray, rows: np.ndarray) -> float:
+        """Group radius under the published metric: zero-filled values measured
+        against the NULL-excluding centroid (the representative relation's
+        definition), so build-time acceptance, ``Partitioning.group_radius``
+        and the maintenance re-split check all agree."""
         chunk = matrix[rows]
-        centroid = chunk.mean(axis=0)
+        centroid = _null_aware_centroid(raw_matrix[rows])
         return float(np.abs(chunk - centroid).max()) if chunk.size else 0.0
 
     def _split(self, matrix: np.ndarray, rows: np.ndarray) -> list[np.ndarray]:

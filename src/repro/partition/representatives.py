@@ -4,6 +4,13 @@ Each group's representative tuple is the centroid of its members over the
 partitioning attributes (Section 4.1).  The representative relation
 ``R̃(gid, attr₁, …, attr_k)`` produced here is exactly what the SKETCH phase
 queries instead of the full input relation.
+
+Centroids are exposed in two forms: the plain ``(num_groups, k)`` matrix, and
+the underlying *moments* (per-group, per-attribute sums of valid values and
+valid-value counts).  The moments are what incremental partition maintenance
+carries across table versions: subtracting the deleted tuples' contributions
+and adding the inserted ones yields the new centroid without rescanning the
+whole group.
 """
 
 from __future__ import annotations
@@ -15,6 +22,47 @@ from repro.dataset.table import Table
 from repro.errors import PartitioningError
 
 
+def centroid_moments(
+    table: Table, group_ids: np.ndarray, attributes: list[str], num_groups: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return per-group ``(sums, counts)`` matrices of shape ``(num_groups, k)``.
+
+    ``sums[g, j]`` is the sum of non-NaN values of attribute ``j`` over group
+    ``g``'s members; ``counts[g, j]`` the number of non-NaN values.  The
+    centroid is ``sums / counts`` with all-NULL groups pinned to 0.
+    """
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    if group_ids.shape != (table.num_rows,):
+        raise PartitioningError("group_ids length must match the table")
+    if num_groups is None:
+        num_groups = int(group_ids.max()) + 1 if len(group_ids) else 0
+    matrix = table.numeric_matrix(attributes)
+    sums = np.zeros((num_groups, len(attributes)), dtype=np.float64)
+    counts = np.zeros((num_groups, len(attributes)), dtype=np.float64)
+    for j in range(len(attributes)):
+        values = matrix[:, j]
+        valid = ~np.isnan(values)
+        sums[:, j] = np.bincount(group_ids[valid], weights=values[valid], minlength=num_groups)
+        counts[:, j] = np.bincount(group_ids[valid], minlength=num_groups)
+    return sums, counts
+
+
+def centroids_from_moments(sums: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Divide sums by counts, pinning groups with no valid values to 0."""
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(counts > 0, sums / np.maximum(counts, 1.0), 0.0)
+
+
+def null_aware_centroid(raw_chunk: np.ndarray) -> np.ndarray:
+    """Per-attribute mean of one group's raw values, ignoring NaNs (all-NULL
+    attributes pinned to 0) — the representative relation's centroid rule,
+    applied by the partitioners when they enforce the radius condition."""
+    valid = ~np.isnan(raw_chunk)
+    sums = np.where(valid, raw_chunk, 0.0).sum(axis=0, keepdims=True)
+    counts = valid.sum(axis=0, keepdims=True).astype(np.float64)
+    return centroids_from_moments(sums, counts)[0]
+
+
 def compute_centroids(table: Table, group_ids: np.ndarray, attributes: list[str]) -> np.ndarray:
     """Return an ``(num_groups, len(attributes))`` matrix of group centroids.
 
@@ -22,20 +70,21 @@ def compute_centroids(table: Table, group_ids: np.ndarray, attributes: list[str]
     the pre-joined benchmark tables); a group whose members are all NULL on an
     attribute gets centroid value 0 for that attribute.
     """
-    group_ids = np.asarray(group_ids, dtype=np.int64)
-    if group_ids.shape != (table.num_rows,):
-        raise PartitioningError("group_ids length must match the table")
-    num_groups = int(group_ids.max()) + 1 if len(group_ids) else 0
-    matrix = table.numeric_matrix(attributes)
-    centroids = np.zeros((num_groups, len(attributes)), dtype=np.float64)
-    for j in range(len(attributes)):
-        values = matrix[:, j]
-        valid = ~np.isnan(values)
-        sums = np.bincount(group_ids[valid], weights=values[valid], minlength=num_groups)
-        counts = np.bincount(group_ids[valid], minlength=num_groups).astype(np.float64)
-        with np.errstate(invalid="ignore", divide="ignore"):
-            centroids[:, j] = np.where(counts > 0, sums / counts, 0.0)
-    return centroids
+    sums, counts = centroid_moments(table, group_ids, attributes)
+    return centroids_from_moments(sums, counts)
+
+
+def representative_table_from_centroids(
+    centroids: np.ndarray, attributes: list[str], table_name: str
+) -> Table:
+    """Wrap a centroid matrix as the relation ``R̃(gid, attr₁, …, attr_k)``."""
+    num_groups = centroids.shape[0]
+    columns: dict[str, np.ndarray] = {"gid": np.arange(num_groups, dtype=np.int64)}
+    schema_columns = [Column("gid", DataType.INT)]
+    for j, attribute in enumerate(attributes):
+        columns[attribute] = centroids[:, j]
+        schema_columns.append(Column(attribute, DataType.FLOAT, nullable=True))
+    return Table(Schema(schema_columns), columns, name=f"{table_name}_representatives")
 
 
 def build_representative_table(
@@ -43,23 +92,30 @@ def build_representative_table(
 ) -> Table:
     """Build the representative relation ``R̃(gid, attr₁, …, attr_k)``."""
     centroids = compute_centroids(table, group_ids, attributes)
-    num_groups = centroids.shape[0]
-    columns: dict[str, np.ndarray] = {"gid": np.arange(num_groups, dtype=np.int64)}
-    schema_columns = [Column("gid", DataType.INT)]
-    for j, attribute in enumerate(attributes):
-        columns[attribute] = centroids[:, j]
-        schema_columns.append(Column(attribute, DataType.FLOAT, nullable=True))
-    return Table(Schema(schema_columns), columns, name=f"{table.name}_representatives")
+    return representative_table_from_centroids(centroids, list(attributes), table.name)
 
 
-def group_radii(table: Table, group_ids: np.ndarray, attributes: list[str]) -> np.ndarray:
-    """Return each group's radius: max |centroid.attr − member.attr| over attributes."""
+def group_radii(
+    table: Table,
+    group_ids: np.ndarray,
+    attributes: list[str],
+    centroids: np.ndarray | None = None,
+) -> np.ndarray:
+    """Return each group's radius: max |centroid.attr − member.attr| over attributes.
+
+    NULL (NaN) attribute values are measured as 0 — the same zero-fill the
+    partitioners apply when enforcing the radius condition at build time, so
+    maintenance re-split checks agree with the builders' metric.
+    ``centroids`` may be supplied (e.g. delta-maintained centroids) to avoid
+    recomputing them.
+    """
     group_ids = np.asarray(group_ids, dtype=np.int64)
     num_groups = int(group_ids.max()) + 1 if len(group_ids) else 0
-    centroids = compute_centroids(table, group_ids, attributes)
-    matrix = table.numeric_matrix(attributes)
-    deviations = np.abs(np.nan_to_num(matrix) - centroids[group_ids])
-    radii = np.zeros(num_groups)
+    if centroids is None:
+        centroids = compute_centroids(table, group_ids, attributes)
+    matrix = np.nan_to_num(table.numeric_matrix(attributes))
+    deviations = np.abs(matrix - centroids[group_ids])
+    radii = np.zeros(max(num_groups, centroids.shape[0]))
     per_row = deviations.max(axis=1) if matrix.shape[1] else np.zeros(len(group_ids))
     np.maximum.at(radii, group_ids, per_row)
     return radii

@@ -109,3 +109,109 @@ class TestAutoMethod:
         as_string = engine.execute(MEAL_PLANNER_PAQL, method="direct")
         as_enum = engine.execute(MEAL_PLANNER_PAQL, method=EvaluationMethod.DIRECT)
         assert as_string.objective == pytest.approx(as_enum.objective)
+
+
+class TestDynamicData:
+    @pytest.fixture
+    def live_engine(self):
+        from repro.workloads.galaxy import galaxy_table
+
+        engine = PackageQueryEngine(auto_direct_threshold=500)
+        engine.register_table(galaxy_table(1000, seed=13))
+        engine.build_partitioning(
+            "galaxy", ["petroMag_r", "redshift", "petroFlux_r"], size_threshold=80
+        )
+        return engine
+
+    @staticmethod
+    def _galaxy_query(engine):
+        from repro.workloads.galaxy import galaxy_workload
+
+        return galaxy_workload(engine.table("galaxy")).query("Q5").query
+
+    def test_update_table_maintains_partitioning(self, live_engine):
+        table = live_engine.table("galaxy")
+        result = live_engine.update_table("galaxy", insert=table.head(50))
+        assert result.table.version == 1
+        assert "default" in result.maintained
+        assert not live_engine.database.is_partitioning_stale("galaxy")
+        query = self._galaxy_query(live_engine)
+        evaluation = live_engine.execute(query)
+        assert evaluation.method is EvaluationMethod.SKETCH_REFINE
+        stats = evaluation.details["sketchrefine_stats"]
+        assert stats.partitioning_version == 1
+        assert stats.partitioning_maintenance["deltas_applied"] == 1
+
+    def test_update_table_with_delete_and_combined(self, live_engine):
+        live_engine.update_table("galaxy", delete=list(range(10)))
+        table = live_engine.table("galaxy")
+        assert table.version == 1 and table.num_rows == 990
+        result = live_engine.update_table("galaxy", insert=table.head(5), delete=[0])
+        assert result.table.version == 2
+        assert result.table.num_rows == 994
+
+    def test_update_table_argument_validation(self, live_engine):
+        from repro.errors import EvaluationError as EvalError
+
+        with pytest.raises(EvalError, match="needs a delta"):
+            live_engine.update_table("galaxy")
+        table = live_engine.table("galaxy")
+        delta = table.make_delta(delete=[0])
+        with pytest.raises(EvalError, match="not both"):
+            live_engine.update_table("galaxy", delta, delete=[0])
+        # The plain delta form works.
+        result = live_engine.update_table("galaxy", delta)
+        assert result.table.version == 1
+
+    def test_auto_refuses_stale_partitioning_with_note(self, live_engine):
+        live_engine.update_table("galaxy", delete=[0], policy="stale")
+        evaluation = live_engine.execute(self._galaxy_query(live_engine))
+        assert evaluation.method is EvaluationMethod.DIRECT
+        assert "stale" in evaluation.details["auto"]
+
+    def test_explicit_sketchrefine_on_stale_raises(self, live_engine):
+        from repro.errors import StalePartitioningError
+
+        live_engine.update_table("galaxy", delete=[0], policy="stale")
+        with pytest.raises(StalePartitioningError, match="stale"):
+            live_engine.execute(self._galaxy_query(live_engine), method="sketchrefine")
+
+    def test_auto_without_partitioning_notes_fallback(self):
+        from repro.workloads.galaxy import galaxy_table, galaxy_workload
+
+        engine = PackageQueryEngine(auto_direct_threshold=500)
+        engine.register_table(galaxy_table(1000, seed=13))
+        query = galaxy_workload(engine.table("galaxy")).query("Q5").query
+        evaluation = engine.execute(query)
+        assert evaluation.method is EvaluationMethod.DIRECT
+        assert "no partitioning" in evaluation.details["auto"]
+
+    def test_auto_direct_threshold_is_configurable(self):
+        engine = PackageQueryEngine(auto_direct_threshold=50)
+        engine.register_table(recipes_table(num_rows=120, seed=7))
+        engine.build_partitioning("recipes", ["kcal", "saturated_fat"], size_threshold=30)
+        result = engine.execute(MEAL_PLANNER_PAQL)
+        assert result.method is EvaluationMethod.SKETCH_REFINE
+        relaxed = PackageQueryEngine(auto_direct_threshold=10_000)
+        relaxed.register_table(recipes_table(num_rows=120, seed=7))
+        relaxed.build_partitioning("recipes", ["kcal", "saturated_fat"], size_threshold=30)
+        assert relaxed.execute(MEAL_PLANNER_PAQL).method is EvaluationMethod.DIRECT
+
+    def test_update_table_rejects_unknown_policy(self, live_engine):
+        from repro.errors import EvaluationError as EvalError
+
+        with pytest.raises(EvalError, match="policy"):
+            live_engine.update_table("galaxy", delete=[0], policy="yolo")
+
+    def test_build_partitioning_invalid_threshold_keeps_error_type(self, live_engine):
+        from repro.errors import PartitioningError
+
+        with pytest.raises(PartitioningError, match="size threshold"):
+            live_engine.build_partitioning("galaxy", ["petroMag_r"], size_threshold=0)
+
+    def test_engine_keeps_passed_empty_database(self):
+        from repro import Database
+
+        database = Database("mine", maintenance_policy="stale")
+        engine = PackageQueryEngine(database=database)
+        assert engine.database is database

@@ -97,3 +97,16 @@ class TestNpz:
         loaded = load_table(path)
         assert loaded.column("s")[1] is None
         assert loaded.column("s")[0] == "a"
+
+
+class TestVersionPersistence:
+    def test_npz_round_trips_table_version(self, tmp_path):
+        table = Table.from_dict({"x": [1.0, 2.0, 3.0]}, name="versioned")
+        table, _ = table.append_rows([(4.0,)])
+        table, _ = table.delete_rows([0])
+        assert table.version == 2
+        path = tmp_path / "versioned.npz"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert loaded.version == 2
+        assert loaded.equals(table)

@@ -201,3 +201,104 @@ class TestEquality:
 
     def test_repr_mentions_name(self, small_numeric_table):
         assert "numbers" in repr(small_numeric_table)
+
+
+class TestVersionedUpdates:
+    def test_fresh_tables_are_version_zero(self, small_numeric_table):
+        assert small_numeric_table.version == 0
+
+    def test_append_rows_bumps_version_and_keeps_base(self, small_numeric_table):
+        appended, delta = small_numeric_table.append_rows([(6.0, 60.0, 0), (7.0, 70.0, 1)])
+        assert small_numeric_table.version == 0
+        assert small_numeric_table.num_rows == 5
+        assert appended.version == 1
+        assert appended.num_rows == 7
+        assert appended.column("a").tolist()[-2:] == [6.0, 7.0]
+        assert delta.base_version == 0 and delta.new_version == 1
+        assert delta.num_inserted == 2 and delta.num_deleted == 0
+
+    def test_append_table_block_shares_schema(self, small_numeric_table):
+        block = small_numeric_table.take(np.array([0, 1]))
+        appended, _ = small_numeric_table.append_rows(block)
+        assert appended.num_rows == 7
+
+    def test_append_schema_mismatch_rejected(self, small_numeric_table, mixed_table):
+        with pytest.raises(TableError):
+            small_numeric_table.append_rows(mixed_table)
+
+    def test_delete_rows_by_mask(self, small_numeric_table):
+        mask = np.array([True, False, False, True, False])
+        deleted, delta = small_numeric_table.delete_rows(mask)
+        assert deleted.version == 1
+        assert deleted.column("a").tolist() == [2.0, 3.0, 5.0]
+        assert delta.num_deleted == 2
+        assert delta.surviving_rows().tolist() == [1, 2, 4]
+
+    def test_delete_rows_by_indices(self, small_numeric_table):
+        deleted, _ = small_numeric_table.delete_rows([0, 4])
+        assert deleted.column("a").tolist() == [2.0, 3.0, 4.0]
+
+    def test_delete_out_of_range_rejected(self, small_numeric_table):
+        with pytest.raises(TableError):
+            small_numeric_table.delete_rows([99])
+
+    def test_update_rows_combined_single_version_bump(self, small_numeric_table):
+        updated, delta = small_numeric_table.update_rows(
+            insert=[(9.0, 90.0, 0)], delete=[0]
+        )
+        assert updated.version == 1
+        assert updated.num_rows == 5
+        assert updated.column("a").tolist() == [2.0, 3.0, 4.0, 5.0, 9.0]
+        assert delta.num_inserted == 1 and delta.num_deleted == 1
+
+    def test_apply_delta_wrong_version_rejected(self, small_numeric_table):
+        appended, delta = small_numeric_table.append_rows([(6.0, 60.0, 0)])
+        with pytest.raises(TableError, match="version"):
+            appended.apply_delta(delta)
+
+    def test_row_remap(self, small_numeric_table):
+        _, delta = small_numeric_table.update_rows(insert=[(6.0, 60.0, 0)], delete=[1])
+        assert delta.row_remap().tolist() == [0, -1, 1, 2, 3]
+
+    def test_chained_versions(self, small_numeric_table):
+        table = small_numeric_table
+        for expected in (1, 2, 3):
+            table, _ = table.append_rows([(1.0, 1.0, 1)])
+            assert table.version == expected
+        assert table.num_rows == 8
+
+    def test_version_in_repr(self, small_numeric_table):
+        appended, _ = small_numeric_table.append_rows([(6.0, 60.0, 0)])
+        assert "version=1" in repr(appended)
+
+    def test_string_and_null_columns_survive_updates(self, mixed_table):
+        appended, _ = mixed_table.append_rows(
+            [{"name": "epsilon", "category": None, "value": None, "weight": 5.0}]
+        )
+        assert appended.column("name")[-1] == "epsilon"
+        assert appended.column("category")[-1] is None
+        deleted, _ = appended.delete_rows([0])
+        assert deleted.column("name")[0] == "beta"
+
+    def test_delete_rejects_non_integer_indices(self, small_numeric_table):
+        with pytest.raises(TableError, match="integer"):
+            small_numeric_table.delete_rows(np.array([1.9, 2.9]))
+
+    def test_delete_empty_index_list_is_noop(self, small_numeric_table):
+        deleted, delta = small_numeric_table.delete_rows([])
+        assert deleted.version == 1
+        assert deleted.num_rows == 5
+        assert delta.num_deleted == 0
+
+    def test_delta_rejects_non_boolean_mask(self, small_numeric_table):
+        from repro.dataset.table import TableDelta
+
+        empty = Table.empty(small_numeric_table.schema)
+        with pytest.raises(TableError, match="boolean"):
+            TableDelta(0, empty, np.array([0, 1, 0, 0, 1]))
+
+    def test_delete_rejects_duplicate_indices(self, small_numeric_table):
+        # Catches 0/1 masks passed as ints, which would silently delete the
+        # wrong rows if interpreted as indices.
+        with pytest.raises(TableError, match="duplicate"):
+            small_numeric_table.delete_rows([0, 1, 1, 0])

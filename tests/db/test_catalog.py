@@ -89,3 +89,289 @@ class TestPersistence:
     def test_load_missing_directory(self, tmp_path):
         with pytest.raises(CatalogError):
             Database.load(tmp_path / "does-not-exist")
+
+
+class TestVersionedUpdates:
+    @pytest.fixture
+    def partitioned_db(self):
+        from repro.workloads.galaxy import galaxy_table
+
+        table = galaxy_table(400, seed=5)
+        db = Database("dynamic")
+        db.create_table(table)
+        partitioning = QuadTreePartitioner(size_threshold=50).partition(
+            table, ["petroMag_r", "redshift"]
+        )
+        db.register_partitioning("galaxy", partitioning)
+        return db, table
+
+    def test_maintain_policy_carries_partitionings(self, partitioned_db):
+        db, table = partitioned_db
+        delta = table.make_delta(insert=table.head(30))
+        result = db.update_table("galaxy", delta)
+        assert result.table.version == 1
+        assert db.table("galaxy").num_rows == 430
+        assert "default" in result.maintained
+        assert not result.stale_labels
+        assert not db.is_partitioning_stale("galaxy")
+        assert db.partitioning_version("galaxy") == 1
+        maintained = db.partitioning("galaxy")
+        assert maintained.table is db.table("galaxy")
+        assert maintained.satisfies_size_threshold(50)
+
+    def test_stale_policy_leaves_partitioning_behind(self, partitioned_db):
+        db, table = partitioned_db
+        delta = table.make_delta(delete=[0, 1, 2])
+        result = db.update_table("galaxy", delta, policy="stale")
+        assert result.stale_labels == ["default"]
+        assert not result.maintained
+        assert db.is_partitioning_stale("galaxy")
+        assert db.partitioning_version("galaxy") == 0
+        assert db.table("galaxy").version == 1
+
+    def test_database_level_policy_default(self):
+        from repro.workloads.galaxy import galaxy_table
+
+        table = galaxy_table(100, seed=5)
+        db = Database("lazy", maintenance_policy="stale")
+        db.create_table(table)
+        partitioning = QuadTreePartitioner(size_threshold=30).partition(
+            table, ["petroMag_r"]
+        )
+        db.register_partitioning("galaxy", partitioning)
+        db.update_table("galaxy", table.make_delta(delete=[0]))
+        assert db.is_partitioning_stale("galaxy")
+
+    def test_unknown_policy_rejected(self, partitioned_db):
+        db, table = partitioned_db
+        with pytest.raises(CatalogError, match="policy"):
+            db.update_table("galaxy", table.make_delta(delete=[0]), policy="yolo")
+        with pytest.raises(CatalogError, match="policy"):
+            Database(maintenance_policy="yolo")
+
+    def test_update_missing_table(self, partitioned_db):
+        db, table = partitioned_db
+        with pytest.raises(CatalogError):
+            db.update_table("ghost", table.make_delta(delete=[0]))
+
+    def test_every_label_followed(self, partitioned_db):
+        db, table = partitioned_db
+        coarse = QuadTreePartitioner(size_threshold=120).partition(
+            table, ["petroMag_r"]
+        )
+        db.register_partitioning("galaxy", coarse, label="coarse")
+        result = db.update_table("galaxy", table.make_delta(insert=table.head(10)))
+        assert sorted(result.maintained) == ["coarse", "default"]
+        assert db.partitioning_version("galaxy", "coarse") == 1
+
+
+class TestPartitioningPersistence:
+    def test_save_load_round_trips_partitionings(self, database, small_numeric_table, tmp_path):
+        import numpy as np
+
+        fine = QuadTreePartitioner(size_threshold=2).partition(small_numeric_table, ["a", "b"])
+        coarse = QuadTreePartitioner(size_threshold=5).partition(small_numeric_table, ["a"])
+        database.register_partitioning("numbers", fine)
+        database.register_partitioning("numbers", coarse, label="coarse")
+        database.save(tmp_path / "db")
+        loaded = Database.load(tmp_path / "db")
+        assert loaded.partitioning_labels("numbers") == ["coarse", "default"]
+        for label, original in (("default", fine), ("coarse", coarse)):
+            restored = loaded.partitioning("numbers", label)
+            assert np.array_equal(restored.group_ids, original.group_ids)
+            assert restored.stats == original.stats
+            assert restored.version == original.version
+            assert restored.table is loaded.table("numbers")
+
+    def test_round_trip_preserves_maintained_versions(self, tmp_path):
+        from repro.workloads.galaxy import galaxy_table
+
+        table = galaxy_table(200, seed=8)
+        db = Database()
+        db.create_table(table)
+        db.register_partitioning(
+            "galaxy",
+            QuadTreePartitioner(size_threshold=40).partition(table, ["petroMag_r"]),
+        )
+        db.update_table("galaxy", db.table("galaxy").make_delta(insert=table.head(20)))
+        db.update_table("galaxy", db.table("galaxy").make_delta(delete=[3]))
+        assert db.table("galaxy").version == 2
+        db.save(tmp_path / "db")
+        loaded = Database.load(tmp_path / "db")
+        assert loaded.table("galaxy").version == 2
+        assert loaded.partitioning_version("galaxy") == 2
+        assert not loaded.is_partitioning_stale("galaxy")
+        restored = loaded.partitioning("galaxy")
+        assert restored.maintenance.deltas_applied == 2
+        assert restored.maintenance.rows_inserted == 20
+        assert restored.maintenance.rows_deleted == 1
+
+    def test_stale_partitionings_are_not_persisted(self, tmp_path):
+        from repro.workloads.galaxy import galaxy_table
+
+        table = galaxy_table(200, seed=8)
+        db = Database()
+        db.create_table(table)
+        db.register_partitioning(
+            "galaxy",
+            QuadTreePartitioner(size_threshold=40).partition(table, ["petroMag_r"]),
+        )
+        db.save(tmp_path / "db")
+        # Going stale invalidates the partitioning; a re-save must drop it
+        # (its base table version no longer exists to restore it against).
+        db.update_table("galaxy", db.table("galaxy").make_delta(delete=[3]), policy="stale")
+        assert db.is_partitioning_stale("galaxy")
+        skipped = db.save(tmp_path / "db")
+        assert skipped == [("galaxy", "default")]
+        loaded = Database.load(tmp_path / "db")
+        assert loaded.table("galaxy").version == 1
+        assert not loaded.has_partitioning("galaxy")
+
+    def test_tables_without_partitionings_still_load(self, database, tmp_path):
+        database.save(tmp_path / "db")
+        loaded = Database.load(tmp_path / "db")
+        assert loaded.table_names() == ["numbers"]
+        assert not loaded.has_partitioning("numbers")
+
+    def test_replace_table_drops_partitionings(self, database, small_numeric_table, tmp_path):
+        partitioning = QuadTreePartitioner(size_threshold=2).partition(
+            small_numeric_table, ["a", "b"]
+        )
+        database.register_partitioning("numbers", partitioning)
+        # Out-of-band replacement (same version, different rows) must not
+        # leave a partitioning behind that no longer matches the table.
+        database.create_table(small_numeric_table.head(3), name="numbers", replace=True)
+        assert not database.has_partitioning("numbers")
+        database.save(tmp_path / "db")
+        loaded = Database.load(tmp_path / "db")
+        assert loaded.table("numbers").num_rows == 3
+
+
+class TestStaleThenMaintain:
+    def test_already_stale_partitioning_survives_later_maintain_updates(self):
+        from repro.workloads.galaxy import galaxy_table
+
+        table = galaxy_table(300, seed=5)
+        db = Database()
+        db.create_table(table)
+        db.register_partitioning(
+            "galaxy",
+            QuadTreePartitioner(size_threshold=40).partition(table, ["petroMag_r"]),
+        )
+        # Go stale once, then update again with the default 'maintain' policy:
+        # the stale partitioning cannot be caught up and must be skipped (and
+        # reported), never crash the update mid-way.
+        db.update_table("galaxy", db.table("galaxy").make_delta(delete=[0]), policy="stale")
+        result = db.update_table("galaxy", db.table("galaxy").make_delta(delete=[1]))
+        assert result.table.version == 2
+        assert db.table("galaxy").version == 2
+        assert result.stale_labels == ["default"]
+        assert not result.maintained
+        assert db.partitioning_version("galaxy") == 0
+        assert db.is_partitioning_stale("galaxy")
+
+
+class TestUpdateAtomicity:
+    def test_failed_maintenance_leaves_catalog_unchanged(self):
+        from repro.workloads.galaxy import galaxy_table
+
+        class BoomMaintainer:
+            def maintain(self, partitioning, new_table, delta):
+                raise RuntimeError("maintenance exploded")
+
+        table = galaxy_table(200, seed=5)
+        db = Database(maintainer=BoomMaintainer())
+        db.create_table(table)
+        partitioning = QuadTreePartitioner(size_threshold=40).partition(table, ["petroMag_r"])
+        db.register_partitioning("galaxy", partitioning)
+        delta = table.make_delta(delete=[0])
+        with pytest.raises(RuntimeError, match="exploded"):
+            db.update_table("galaxy", delta)
+        # Nothing committed: same table version, same partitioning, retryable.
+        assert db.table("galaxy").version == 0
+        assert db.table("galaxy").num_rows == 200
+        assert db.partitioning("galaxy") is partitioning
+        from repro.partition.maintenance import PartitionMaintainer
+
+        db.maintainer = PartitionMaintainer()
+        result = db.update_table("galaxy", delta)
+        assert result.table.version == 1
+        assert db.partitioning_version("galaxy") == 1
+
+    def test_resave_removes_dropped_table_artifacts(self, database, small_numeric_table, tmp_path):
+        partitioning = QuadTreePartitioner(size_threshold=2).partition(
+            small_numeric_table, ["a"]
+        )
+        database.register_partitioning("numbers", partitioning)
+        database.save(tmp_path / "db")
+        database.drop_table("numbers")
+        database.save(tmp_path / "db")
+        loaded = Database.load(tmp_path / "db")
+        assert "numbers" not in loaded
+        assert not loaded.has_partitioning("numbers")
+
+    def test_empty_string_policy_rejected(self, database, small_numeric_table):
+        delta = small_numeric_table.make_delta(delete=[0])
+        with pytest.raises(CatalogError, match="policy"):
+            database.update_table("numbers", delta, policy="")
+
+    def test_save_leaves_unrelated_files_alone(self, database, tmp_path):
+        directory = tmp_path / "db"
+        directory.mkdir()
+        foreign = directory / "my_embeddings.npz"
+        foreign.write_bytes(b"not a table")
+        database.save(directory)
+        database.drop_table("numbers")
+        database.save(directory)
+        # Only this catalog's own artifacts are cleaned up.
+        assert foreign.exists()
+        assert not (directory / "numbers.npz").exists()
+
+    def test_two_catalogs_sharing_a_directory_do_not_clobber(self, tmp_path):
+        a = Database("alpha_cat")
+        a.create_table(Table.from_dict({"x": [1.0, 2.0]}, name="alpha"))
+        b = Database("beta_cat")
+        b.create_table(Table.from_dict({"y": [3.0]}, name="beta"))
+        directory = tmp_path / "shared"
+        a.save(directory)
+        b.save(directory)
+        assert (directory / "alpha.npz").exists()
+        assert (directory / "beta.npz").exists()
+        # Each catalog's cleanup stays scoped to its own manifest entry.
+        a.drop_table("alpha")
+        a.save(directory)
+        assert not (directory / "alpha.npz").exists()
+        assert (directory / "beta.npz").exists()
+
+    def test_load_restores_maintenance_policy(self, tmp_path):
+        db = Database("lazy", maintenance_policy="stale")
+        db.create_table(Table.from_dict({"x": [1.0, 2.0]}, name="t"))
+        db.save(tmp_path / "db")
+        loaded = Database.load(tmp_path / "db", name="lazy")
+        assert loaded.maintenance_policy == "stale"
+        other = Database.load(tmp_path / "db", name="unknown_catalog")
+        assert other.maintenance_policy == "maintain"
+
+    def test_load_scopes_to_manifest_entry(self, tmp_path):
+        directory = tmp_path / "shared"
+        a = Database("alpha_cat")
+        a.create_table(Table.from_dict({"x": [1.0]}, name="alpha"))
+        b = Database("beta_cat")
+        b.create_table(Table.from_dict({"y": [2.0]}, name="beta"))
+        a.save(directory)
+        b.save(directory)
+        loaded_a = Database.load(directory, name="alpha_cat")
+        assert loaded_a.table_names() == ["alpha"]
+        loaded_b = Database.load(directory, name="beta_cat")
+        assert loaded_b.table_names() == ["beta"]
+        # No manifest entry -> legacy behavior, everything loads.
+        loaded_all = Database.load(directory, name="unlisted")
+        assert loaded_all.table_names() == ["alpha", "beta"]
+
+    def test_load_skips_orphaned_partitioning_directories(self, database, tmp_path):
+        directory = tmp_path / "db"
+        database.save(directory)
+        orphan = directory / "ghost.partitionings" / "default"
+        orphan.mkdir(parents=True)
+        loaded = Database.load(directory)
+        assert loaded.table_names() == ["numbers"]

@@ -133,3 +133,36 @@ class TestKMeans:
     def test_invalid_threshold(self):
         with pytest.raises(PartitioningError):
             KMeansPartitioner(size_threshold=0)
+
+
+class TestKdTreeSmallTables:
+    """Regression: stats must be consistent when the whole table fits one group."""
+
+    def test_single_group_when_below_threshold(self):
+        table = galaxy_table(7, seed=2)
+        partitioning = KdTreePartitioner(size_threshold=50).partition(table, ATTRIBUTES)
+        assert partitioning.num_groups == 1
+        assert partitioning.stats.num_groups == 1
+        assert partitioning.stats.max_group_size == 7
+        assert partitioning.group_sizes().tolist() == [7]
+        assert partitioning.group_rows(0).tolist() == list(range(7))
+        assert partitioning.stats.max_radius == pytest.approx(partitioning.max_radius())
+
+    def test_empty_table(self):
+        from repro.dataset.table import Table
+
+        table = Table.empty(galaxy_table(1).schema, name="galaxy")
+        partitioning = KdTreePartitioner(size_threshold=50).partition(table, ATTRIBUTES)
+        assert partitioning.num_groups == 0
+        assert partitioning.stats.num_groups == 0
+        assert partitioning.stats.max_group_size == 0
+        assert partitioning.max_radius() == 0.0
+
+    def test_empty_table_with_radius_limit(self):
+        from repro.dataset.table import Table
+
+        table = Table.empty(galaxy_table(1).schema, name="galaxy")
+        partitioning = KdTreePartitioner(size_threshold=50, radius_limit=0.5).partition(
+            table, ATTRIBUTES
+        )
+        assert partitioning.num_groups == 0

@@ -153,3 +153,60 @@ class TestRadiusFormula:
         assert approximation_factor(0.0, ObjectiveDirection.MAXIMIZE) == 1.0
         assert approximation_factor(0.1, ObjectiveDirection.MAXIMIZE) == pytest.approx(0.9 ** 6)
         assert approximation_factor(0.1, ObjectiveDirection.MINIMIZE) == pytest.approx(1.1 ** 6)
+
+
+class TestSaveLoadRoundTrip:
+    """Satellite coverage for Partitioning.save/load (metadata, derivation, errors)."""
+
+    def test_metadata_and_stats_equality(self, partitioned_galaxy, tmp_path):
+        table, _, partitioning = partitioned_galaxy
+        partitioning.save(tmp_path / "part")
+        loaded = Partitioning.load(tmp_path / "part", table)
+        assert loaded.stats == partitioning.stats
+        assert loaded.attributes == partitioning.attributes
+        assert loaded.version == partitioning.version
+        assert loaded.maintenance == partitioning.maintenance
+        assert np.allclose(
+            loaded.representatives.numeric_matrix(loaded.attributes),
+            partitioning.representatives.numeric_matrix(partitioning.attributes),
+        )
+
+    def test_restricted_to_rows_of_loaded_partitioning(self, partitioned_galaxy, tmp_path):
+        table, _, partitioning = partitioned_galaxy
+        partitioning.save(tmp_path / "part")
+        loaded = Partitioning.load(tmp_path / "part", table)
+        rng = np.random.default_rng(9)
+        subset = np.sort(rng.choice(table.num_rows, 120, replace=False))
+        restricted = loaded.restricted_to_rows(subset)
+        expected = partitioning.restricted_to_rows(subset)
+        assert restricted.table.num_rows == 120
+        assert np.array_equal(restricted.group_ids, expected.group_ids)
+        assert restricted.group_sizes().max() <= partitioning.group_sizes().max()
+
+    def test_representatives_mismatch_rejected(self, partitioned_galaxy, tmp_path):
+        table, attributes, partitioning = partitioned_galaxy
+        directory = tmp_path / "part"
+        partitioning.save(directory)
+        # Corrupt the persisted representatives: drop half the groups.
+        from repro.dataset.io import load_table, save_table
+
+        persisted = load_table(directory / "representatives.npz")
+        truncated = persisted.head(max(1, persisted.num_rows // 2))
+        save_table(truncated, directory / "representatives.npz")
+        with pytest.raises(PartitioningError, match="does not match"):
+            Partitioning.load(directory, table)
+
+    def test_maintained_partitioning_round_trips_version(self, tmp_path):
+        from repro.partition.maintenance import PartitionMaintainer
+
+        table = galaxy_table(300, seed=6)
+        attributes = ["petroMag_r", "redshift"]
+        partitioning = QuadTreePartitioner(size_threshold=40).partition(table, attributes)
+        new_table, delta = table.append_rows(table.head(25))
+        maintained, _ = PartitionMaintainer().maintain(partitioning, new_table, delta)
+        maintained.save(tmp_path / "part")
+        loaded = Partitioning.load(tmp_path / "part", new_table)
+        assert loaded.version == 1
+        assert loaded.maintenance.deltas_applied == 1
+        assert loaded.maintenance.rows_inserted == 25
+        assert np.array_equal(loaded.group_ids, maintained.group_ids)
