@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Record the result-cache baseline as ``BENCH_cache.json``.
+
+Measures what delta-aware caching buys on an update-then-requery workload
+over the 20k-row synthetic Galaxy table:
+
+* **cold vs hot** — one SKETCHREFINE solve of a Galaxy-style query, then the
+  same query again: the second execution must be served from the cache ≥ 10x
+  faster than the cold solve (in practice several orders of magnitude);
+* **revalidation** — an insert delta aimed at groups the cached package does
+  *not* touch: the cached answer must be *revalidated* (cheap feasibility
+  re-check, no ILP solve) rather than invalidated;
+* **invalidation** — a delta deleting one of the package's own tuples must
+  force a fresh solve (a stale answer is never served);
+* **steady state** — an update-then-requery loop with deltas aimed away from
+  the hot query's groups, reporting the fraction of executions served
+  without a solve.
+
+The JSON is committed in-repo for a trajectory across PRs; CI re-generates
+it and asserts the ≥ 10x speedup and the revalidation behaviour.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/cache_effectiveness.py [--rows 20000] [--out BENCH_cache.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import PackageQueryEngine
+from repro.paql.builder import query_over
+from repro.partition.maintenance import PartitionMaintainer
+from repro.workloads.galaxy import galaxy_table
+
+ATTRIBUTES = ["petroMag_r", "redshift", "petroFlux_r"]
+
+
+def _build_query(table):
+    """A Galaxy Q1-style query: bounded total redshift, maximise total flux."""
+    mean_z = float(np.mean(table.numeric_column("redshift")))
+    return (
+        query_over("galaxy", name="galaxy_cache_q1")
+        .no_repetition()
+        .count_equals(10)
+        .sum_between("redshift", 0.65 * mean_z * 10, 1.35 * mean_z * 10)
+        .maximize_sum("petroFlux_r")
+        .build()
+    )
+
+
+def _timed_execute(engine, query, **kwargs):
+    started = time.perf_counter()
+    result = engine.execute(query, **kwargs)
+    return time.perf_counter() - started, result
+
+
+def _miss_delta_rows(engine, package_groups, count, forbidden=()):
+    """Rows whose insertion provably misses ``package_groups``.
+
+    Copies tuples from small non-package groups (a copy lands on its own
+    group's centroid, so nearest-centroid assignment keeps it there) and
+    verifies the predicted assignment with the maintainer's own preview.
+    """
+    partitioning = engine.database.partitioning("galaxy")
+    maintainer = engine.database.maintainer
+    tau = partitioning.stats.size_threshold
+    sizes = partitioning.group_sizes()
+    donors = [
+        gid
+        for gid in np.argsort(sizes)
+        if gid not in package_groups and gid not in forbidden and sizes[gid] + count <= tau - 1
+    ]
+    for donor in donors:
+        rows = partitioning.group_rows(int(donor))[:count]
+        candidate = engine.table("galaxy").take(rows)
+        predicted = set(maintainer.assign_rows(partitioning, candidate).tolist())
+        if predicted and not (predicted & set(package_groups)):
+            return candidate, predicted
+    raise RuntimeError("no donor group found for a package-missing delta")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument("--tau", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--update-rounds", type=int, default=10)
+    parser.add_argument("--out", default="BENCH_cache.json")
+    args = parser.parse_args()
+
+    table = galaxy_table(args.rows, seed=args.seed)
+    engine = PackageQueryEngine()
+    engine.register_table(table, name="galaxy")
+    engine.build_partitioning("galaxy", ATTRIBUTES, size_threshold=args.tau)
+    query = _build_query(table)
+
+    # ---- cold solve vs cached re-execution --------------------------------------
+    cold_seconds, cold = _timed_execute(engine, query, method="sketchrefine", cache="refresh")
+    hot_seconds, hot = _timed_execute(engine, query, method="sketchrefine")
+    speedup = cold_seconds / hot_seconds if hot_seconds > 0 else float("inf")
+    assert hot.details["cache"]["status"] == "hit", hot.details["cache"]["status"]
+    assert hot.objective == cold.objective
+    print(
+        f"cold solve {cold_seconds * 1e3:.1f} ms vs cached {hot_seconds * 1e3:.3f} ms "
+        f"({speedup:.0f}x), objective {cold.objective:.3f}"
+    )
+
+    partitioning = engine.database.partitioning("galaxy")
+    package_groups = frozenset(partitioning.group_ids[cold.package.indices].tolist())
+
+    # ---- delta missing the package's groups: revalidate, don't re-solve -----------
+    inserted, predicted = _miss_delta_rows(engine, package_groups, count=3)
+    update = engine.update_table("galaxy", insert=inserted)
+    stats = update.maintained["default"]
+    assert not (stats.touched_groups & package_groups)
+    assert not stats.groups_renumbered
+    revalidate_seconds, revalidated = _timed_execute(engine, query, method="sketchrefine")
+    revalidate_status = revalidated.details["cache"]["status"]
+    assert revalidated.objective == cold.objective
+    print(
+        f"delta into groups {sorted(predicted)} (package groups "
+        f"{sorted(package_groups)}): {revalidate_status} in "
+        f"{revalidate_seconds * 1e3:.3f} ms"
+    )
+
+    # ---- delta touching the package: must re-solve -------------------------------
+    victim = int(revalidated.package.indices[0])
+    engine.update_table("galaxy", delete=[victim])
+    resolve_seconds, resolved = _timed_execute(engine, query, method="sketchrefine")
+    touch_status = resolved.details["cache"]["status"]
+    print(f"delta deleting a package tuple: {touch_status} in {resolve_seconds * 1e3:.1f} ms")
+
+    # ---- steady-state update-then-requery loop -------------------------------------
+    served_without_solve = 0
+    loop_statuses: list[str] = []
+    for _ in range(args.update_rounds):
+        current = engine.database.partitioning("galaxy")
+        current_groups = frozenset(current.group_ids[resolved.package.indices].tolist())
+        inserted, _ = _miss_delta_rows(engine, current_groups, count=2)
+        engine.update_table("galaxy", insert=inserted)
+        _, resolved = _timed_execute(engine, query, method="sketchrefine")
+        status = resolved.details["cache"]["status"]
+        loop_statuses.append(status)
+        if status in ("hit", "revalidated"):
+            served_without_solve += 1
+    hit_rate = served_without_solve / args.update_rounds
+    print(
+        f"update-then-requery x{args.update_rounds}: {served_without_solve} served "
+        f"without a solve (rate {hit_rate:.2f})"
+    )
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": args.rows,
+        "tau": args.tau,
+        "seed": args.seed,
+        "query": "count=10, sum(redshift) window, maximize sum(petroFlux_r)",
+        "cold_seconds": round(cold_seconds, 6),
+        "hot_seconds": round(hot_seconds, 6),
+        "speedup": round(speedup, 1),
+        "revalidate_seconds": round(revalidate_seconds, 6),
+        "revalidate_status": revalidate_status,
+        "touch_delta_status": touch_status,
+        "resolve_seconds": round(resolve_seconds, 6),
+        "update_rounds": args.update_rounds,
+        "loop_statuses": loop_statuses,
+        "served_without_solve": served_without_solve,
+        "hit_rate": round(hit_rate, 3),
+        "cache_stats": engine.cache.stats_snapshot(),
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,9 +11,13 @@
 * :class:`~repro.core.naive.NaiveSelfJoinEvaluator` — the exhaustive
   self-join/enumeration baseline of Figure 1,
 * :class:`~repro.core.engine.PackageQueryEngine` — the user-facing facade
-  that ties catalog, parser, validator, partitionings and evaluators together.
+  that ties catalog, parser, validator, partitionings and evaluators together,
+* :class:`~repro.core.cache.PackageCache` — delta-aware result caching keyed
+  on canonical query fingerprints, with per-group revalidation for
+  SKETCHREFINE answers.
 """
 
+from repro.core.cache import CacheEntry, CacheLookup, CacheStats, PackageCache
 from repro.core.package import Package
 from repro.core.translator import IlpTranslation, translate_query
 from repro.core.base_relations import compute_base_relation
@@ -31,6 +35,10 @@ from repro.core.validation import check_package, objective_value
 
 __all__ = [
     "Package",
+    "PackageCache",
+    "CacheEntry",
+    "CacheLookup",
+    "CacheStats",
     "IlpTranslation",
     "translate_query",
     "compute_base_relation",

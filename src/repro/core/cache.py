@@ -1,0 +1,381 @@
+"""Delta-aware caching of package-query results.
+
+Package queries are expensive to answer but, on an update-heavy workload,
+most deltas leave most cached answers untouched.  :class:`PackageCache`
+exploits that: it remembers, per *canonical query fingerprint* (see
+:mod:`repro.paql.fingerprint`) and table, the package an evaluator produced,
+and invalidates it no more aggressively than the update stream requires:
+
+* **DIRECT / NAIVE entries** are exact optima over the whole relation, so any
+  version bump invalidates them (one new tuple can change the optimum).
+* **SKETCHREFINE entries** are approximate answers whose quality story is
+  per-group.  The update stream reports, through
+  :class:`~repro.partition.maintenance.MaintenanceStats`, exactly which
+  groups each delta touched.  A cached package whose tuples all live in
+  *untouched* groups survives: its rows are remapped through the delta and
+  the entry is marked for **revalidation** — a cheap
+  :func:`~repro.core.validation.check_package` feasibility + objective
+  re-check at the next lookup — instead of a re-solve.  If the gid space was
+  renumbered (groups retired, re-split or rebuilt), or the partitioning was
+  left stale, the entry is dropped conservatively.
+
+Update notifications are **coalesced**: :meth:`notify_update` merges
+consecutive :class:`~repro.dataset.table.TableDelta`\\ s per table
+(:meth:`TableDelta.merge`) and unions their touched-group sets, so an update
+burst costs one O(1) merge per delta and entries pay a single row remap at
+the next lookup, not one per update.
+
+The cache is data-structure-only: it never solves anything.  The engine
+decides when to consult it (``execute(..., cache="use"|"bypass"|"refresh")``)
+and the catalog feeds it deltas (:meth:`repro.db.catalog.Database
+.register_cache`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.package import Package
+from repro.core.validation import check_package, objective_value
+from repro.dataset.table import Table, TableDelta
+from repro.errors import CacheError, EvaluationError, TableError
+from repro.paql.ast import PackageQuery
+from repro.partition.partitioning import Partitioning
+
+#: Cache interaction modes accepted by ``PackageQueryEngine.execute``.
+CACHE_MODES = ("use", "bypass", "refresh")
+
+
+@dataclass
+class CacheStats:
+    """Cumulative effectiveness counters for one :class:`PackageCache`."""
+
+    hits: int = 0
+    """Lookups answered from an entry that needed no re-check."""
+    revalidations: int = 0
+    """Lookups answered from an entry after a cheap feasibility/objective
+    re-check (the delta-missed-my-groups path)."""
+    misses: int = 0
+    """Lookups that found no usable entry."""
+    stores: int = 0
+    """Entries written after a solve."""
+    invalidations: int = 0
+    """Entries dropped by updates, staleness or failed revalidation."""
+    evictions: int = 0
+    """Entries dropped by the capacity bound (LRU)."""
+    saved_solve_seconds: float = 0.0
+    """Sum of the recorded solve times of every hit/revalidated lookup — the
+    wall time the cache spared the solver."""
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "revalidations": self.revalidations,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "saved_solve_seconds": self.saved_solve_seconds,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """One cached package-query answer."""
+
+    fingerprint: str
+    table_name: str
+    method: str
+    partitioning_label: str | None
+    table_version: int
+    partitioning_version: int | None
+    multiplicities: dict[int, int]
+    groups: frozenset
+    """Gids (current partitioning gid space) holding the package's tuples —
+    empty for DIRECT/NAIVE entries, which do not reason per group."""
+    objective: float
+    feasible: bool
+    solve_seconds: float
+    """What producing this answer cost, credited to ``saved_solve_seconds``
+    every time the entry spares a re-solve."""
+    needs_revalidation: bool = False
+
+
+@dataclass
+class CacheLookup:
+    """Outcome of one :meth:`PackageCache.lookup`."""
+
+    status: str
+    """``"hit"``, ``"revalidated"`` or ``"miss"``."""
+    package: Package | None = None
+    objective: float = float("nan")
+    feasible: bool = False
+    saved_solve_seconds: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.status in ("hit", "revalidated")
+
+
+@dataclass
+class _PendingUpdates:
+    """Coalesced not-yet-applied update stream for one table."""
+
+    delta: TableDelta | None = None
+    touched: dict = field(default_factory=dict)
+    """Per partitioning label: union of touched gids since the last flush
+    (valid while the label's gid space is stable over the window)."""
+    dropped_labels: set = field(default_factory=set)
+    """Labels whose entries cannot survive the window (gid space renumbered,
+    or the partitioning went/stayed stale)."""
+
+
+class PackageCache:
+    """Query-result cache keyed on (fingerprint, table, method, partitioning).
+
+    Args:
+        max_entries: Capacity bound; least-recently-used entries are evicted
+            beyond it.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise CacheError("max_entries must be at least 1")
+        self.max_entries = int(max_entries)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self._pending: dict[str, _PendingUpdates] = {}
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and all pending update state (counters persist)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+        self._pending.clear()
+
+    def invalidate_table(self, table_name: str) -> None:
+        """Drop every entry for ``table_name`` (e.g. table replaced/dropped)."""
+        keys = [k for k, e in self._entries.items() if e.table_name == table_name]
+        for key in keys:
+            del self._entries[key]
+        self.stats.invalidations += len(keys)
+        self._pending.pop(table_name, None)
+
+    def stats_snapshot(self) -> dict:
+        """The counters as a plain dict (for ``EvaluationResult.details``)."""
+        return self.stats.as_dict()
+
+    @staticmethod
+    def _key(
+        fingerprint: str, table_name: str, method: str, label: str | None
+    ) -> tuple:
+        return (fingerprint, table_name, method, label or "")
+
+    # -- update notifications ------------------------------------------------------------
+
+    def notify_update(
+        self,
+        table_name: str,
+        delta: TableDelta,
+        maintained: Mapping[str, object] | None = None,
+        stale_labels: list | tuple | set = (),
+    ) -> None:
+        """Absorb one committed table update into the pending coalesced state.
+
+        ``maintained`` maps partitioning labels to their
+        :class:`~repro.partition.maintenance.MaintenanceStats`; labels in
+        ``stale_labels`` were left behind by the update.  This is O(delta),
+        independent of how many entries the cache holds — entries are only
+        walked when the table is next looked up (:meth:`_flush`).
+        """
+        if not self._has_entries(table_name):
+            # Nothing cached for this table: a later store anchors afresh at
+            # the then-current version, so don't accumulate deltas.
+            self._pending.pop(table_name, None)
+            return
+        state = self._pending.setdefault(table_name, _PendingUpdates())
+        if state.delta is None:
+            state.delta = delta
+        else:
+            try:
+                state.delta = state.delta.merge(delta)
+            except TableError:
+                # The stream skipped versions (table replaced out-of-band);
+                # nothing cached can be trusted to remap.
+                self.invalidate_table(table_name)
+                return
+        for label, label_stats in (maintained or {}).items():
+            if getattr(label_stats, "groups_renumbered", True):
+                state.dropped_labels.add(label)
+            elif label not in state.dropped_labels:
+                state.touched.setdefault(label, set()).update(
+                    getattr(label_stats, "touched_groups", frozenset())
+                )
+        state.dropped_labels.update(stale_labels)
+
+    def _has_entries(self, table_name: str) -> bool:
+        return any(e.table_name == table_name for e in self._entries.values())
+
+    def _flush(self, table_name: str) -> None:
+        """Apply the pending coalesced delta to every entry of ``table_name``.
+
+        DIRECT/NAIVE entries are dropped (any version bump changes the ground
+        truth they claim to be optimal over).  A SKETCHREFINE entry survives
+        iff its partitioning stayed maintained with a stable gid space *and*
+        the coalesced delta touched none of the groups its tuples live in; it
+        is then remapped to the new row space and marked for revalidation.
+        """
+        state = self._pending.pop(table_name, None)
+        if state is None or state.delta is None:
+            return
+        remap = state.delta.row_remap()
+        new_version = state.delta.new_version
+        for key in [k for k, e in self._entries.items() if e.table_name == table_name]:
+            entry = self._entries[key]
+            survives = (
+                entry.method == "sketchrefine"
+                and entry.table_version == state.delta.base_version
+                and entry.partitioning_label not in state.dropped_labels
+                and not (entry.groups & state.touched.get(entry.partitioning_label, set()))
+            )
+            if survives:
+                remapped: dict[int, int] = {}
+                for row, multiplicity in entry.multiplicities.items():
+                    new_row = int(remap[row]) if 0 <= row < len(remap) else -1
+                    if new_row < 0:  # pragma: no cover - untouched groups lose no rows
+                        survives = False
+                        break
+                    remapped[new_row] = multiplicity
+                if survives:
+                    entry.multiplicities = remapped
+                    entry.table_version = new_version
+                    entry.partitioning_version = new_version
+                    entry.needs_revalidation = True
+                    continue
+            del self._entries[key]
+            self.stats.invalidations += 1
+
+    # -- lookup / store ---------------------------------------------------------------------
+
+    def lookup(
+        self,
+        query: PackageQuery,
+        fingerprint: str,
+        table: Table,
+        table_name: str,
+        method: str,
+        partitioning: Partitioning | None = None,
+        partitioning_label: str | None = None,
+    ) -> CacheLookup:
+        """Try to answer ``query`` over the current ``table`` from the cache.
+
+        A pending coalesced delta for the table is applied first.  An entry
+        marked for revalidation is re-checked against the query semantics
+        (:func:`check_package`) before being served; failing the check drops
+        it and reports a miss — a stale answer is never returned.
+        """
+        self._flush(table_name)
+        key = self._key(fingerprint, table_name, method, partitioning_label)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return CacheLookup(status="miss")
+        if entry.table_version != table.version or (
+            method == "sketchrefine"
+            and (partitioning is None or partitioning.version != entry.partitioning_version)
+        ):
+            # The world moved without a notification we could track.
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return CacheLookup(status="miss")
+        try:
+            package = Package.from_multiplicity_map(table, entry.multiplicities)
+        except EvaluationError:  # pragma: no cover - row-range guard
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return CacheLookup(status="miss")
+        if entry.needs_revalidation:
+            report = check_package(package, query)
+            if not report.feasible:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return CacheLookup(status="miss")
+            entry.objective = objective_value(package, query)
+            entry.feasible = True
+            entry.needs_revalidation = False
+            self._entries.move_to_end(key)
+            self.stats.revalidations += 1
+            self.stats.saved_solve_seconds += entry.solve_seconds
+            return CacheLookup(
+                status="revalidated",
+                package=package,
+                objective=entry.objective,
+                feasible=True,
+                saved_solve_seconds=entry.solve_seconds,
+            )
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.saved_solve_seconds += entry.solve_seconds
+        return CacheLookup(
+            status="hit",
+            package=package,
+            objective=entry.objective,
+            feasible=entry.feasible,
+            saved_solve_seconds=entry.solve_seconds,
+        )
+
+    def store(
+        self,
+        query: PackageQuery,
+        fingerprint: str,
+        table: Table,
+        table_name: str,
+        method: str,
+        package: Package,
+        objective: float,
+        feasible: bool,
+        solve_seconds: float,
+        partitioning: Partitioning | None = None,
+        partitioning_label: str | None = None,
+    ) -> CacheEntry:
+        """Record a freshly solved answer (overwriting any previous entry)."""
+        self._flush(table_name)
+        groups: frozenset = frozenset()
+        partitioning_version: int | None = None
+        if method == "sketchrefine":
+            if partitioning is None:
+                raise CacheError(
+                    "caching a SKETCHREFINE answer requires its partitioning"
+                )
+            groups = frozenset(partitioning.group_ids[package.indices].tolist())
+            partitioning_version = partitioning.version
+        key = self._key(fingerprint, table_name, method, partitioning_label)
+        entry = CacheEntry(
+            fingerprint=fingerprint,
+            table_name=table_name,
+            method=method,
+            partitioning_label=partitioning_label if method == "sketchrefine" else None,
+            table_version=table.version,
+            partitioning_version=partitioning_version,
+            multiplicities=package.as_multiplicity_map(),
+            groups=groups,
+            objective=float(objective),
+            feasible=bool(feasible),
+            solve_seconds=float(solve_seconds),
+        )
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry

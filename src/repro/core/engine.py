@@ -17,7 +17,13 @@ prototype sits on top of PostgreSQL + CPLEX:
 * queries arrive either as PaQL text or as :class:`~repro.paql.ast.PackageQuery`
   objects built with the fluent builder,
 * evaluation picks DIRECT, SKETCHREFINE or the naïve baseline, and the result
-  is returned with timing, feasibility and objective metadata.
+  is returned with timing, feasibility and objective metadata,
+* repeated traffic is served from a delta-aware
+  :class:`~repro.core.cache.PackageCache`: answers are keyed on a canonical
+  query fingerprint, DIRECT/NAIVE entries invalidate on any table version
+  bump, and a SKETCHREFINE package whose groups an update burst missed is
+  revalidated with a cheap feasibility check instead of re-solved
+  (``execute(..., cache="use"|"bypass"|"refresh")``).
 
 Example::
 
@@ -42,6 +48,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.cache import CACHE_MODES, PackageCache
 from repro.core.direct import DirectEvaluator
 from repro.core.naive import NaiveSelfJoinEvaluator
 from repro.core.package import Package
@@ -51,6 +58,7 @@ from repro.dataset.table import Table, TableDelta
 from repro.db.catalog import MAINTENANCE_POLICIES, Database, TableUpdateResult
 from repro.errors import CatalogError, EvaluationError, StalePartitioningError
 from repro.paql.ast import PackageQuery
+from repro.paql.fingerprint import query_fingerprint
 from repro.paql.parser import parse_paql
 from repro.paql.validator import validate_query
 from repro.partition.maintenance import is_known_method, make_partitioner
@@ -93,6 +101,10 @@ class PackageQueryEngine:
         auto_direct_threshold: SKETCHREFINE needs a partitioning; at or below
             this many tuples AUTO uses DIRECT regardless, because the whole
             problem comfortably fits the solver.
+        cache: Result cache consulted by :meth:`execute` (default: a fresh
+            :class:`~repro.core.cache.PackageCache`).  It is registered with
+            the catalog so every :meth:`update_table` feeds it coalesced
+            deltas and touched-group sets for delta-aware invalidation.
     """
 
     def __init__(
@@ -101,11 +113,14 @@ class PackageQueryEngine:
         solver=None,
         sketchrefine_config: SketchRefineConfig | None = None,
         auto_direct_threshold: int = 2_000,
+        cache: PackageCache | None = None,
     ):
         # `database or ...` would discard a passed-in *empty* catalog
         # (Database.__len__ makes it falsy) along with its configuration.
         self.database = database if database is not None else Database()
         self.auto_direct_threshold = int(auto_direct_threshold)
+        self.cache = cache if cache is not None else PackageCache()
+        self.database.register_cache(self.cache)
         self._solver = solver
         self._direct = DirectEvaluator(solver=solver)
         self._sketchrefine = SketchRefineEvaluator(solver=solver, config=sketchrefine_config)
@@ -182,7 +197,9 @@ class PackageQueryEngine:
         ``None`` defers to the catalog's ``maintenance_policy`` (which is
         ``"maintain"`` for a default-constructed :class:`Database`).
         Returns the catalog's :class:`TableUpdateResult` with the new table
-        and the per-label maintenance statistics.
+        and the per-label maintenance statistics.  The engine's result cache
+        is notified with the delta and each partitioning's touched-group set,
+        so cached answers are invalidated no more than the change requires.
         """
         if delta is not None and (insert is not None or delete is not None):
             raise EvaluationError("pass either a delta or insert/delete rows, not both")
@@ -209,6 +226,7 @@ class PackageQueryEngine:
         query: str | PackageQuery,
         method: EvaluationMethod | str = EvaluationMethod.AUTO,
         partitioning_label: str = "default",
+        cache: str = "use",
     ) -> EvaluationResult:
         """Evaluate a package query and return the answer package with metadata.
 
@@ -218,25 +236,79 @@ class PackageQueryEngine:
                 partitioning is registered and the table is large, otherwise
                 DIRECT.
             partitioning_label: Which registered partitioning SKETCHREFINE uses.
+            cache: How to interact with the result cache.  ``"use"`` (default)
+                answers from a cached entry when the canonical query
+                fingerprint, table version and (for SKETCHREFINE) partitioning
+                state still match — entries whose groups a coalesced update
+                delta missed are *revalidated* with a cheap feasibility check
+                instead of re-solved — and stores the answer on a miss.
+                ``"bypass"`` never reads or writes the cache; ``"refresh"``
+                re-solves unconditionally and overwrites the entry.
+                ``details["cache"]`` reports the per-call status
+                (hit/revalidated/miss/bypass), the fingerprint, the solve
+                seconds this call spared (0 unless it was served from the
+                cache), and — under ``"totals"`` — the cache's cumulative
+                counters.
         """
         if isinstance(query, str):
             query = parse_paql(query)
         if isinstance(method, str):
             method = EvaluationMethod(method)
+        if cache not in CACHE_MODES:
+            raise EvaluationError(
+                f"unknown cache mode {cache!r} (expected one of {CACHE_MODES})"
+            )
 
         table = self.database.table(query.relation)
         validate_query(query, table.schema)
         method, auto_note = self._resolve_method(method, query, partitioning_label)
+        # Staleness is an error even when a cached answer exists: serving it
+        # would silently mask the stale partitioning the caller asked about.
+        partitioning = (
+            self._partitioning_for(query, partitioning_label)
+            if method is EvaluationMethod.SKETCH_REFINE
+            else None
+        )
 
-        start = time.perf_counter()
         details: dict = {}
         if auto_note is not None:
             details["auto"] = auto_note
+
+        fingerprint = query_fingerprint(query) if cache != "bypass" else None
+        label = partitioning_label if method is EvaluationMethod.SKETCH_REFINE else None
+        if cache == "use":
+            start = time.perf_counter()
+            found = self.cache.lookup(
+                query,
+                fingerprint,
+                table,
+                query.relation,
+                method.value,
+                partitioning=partitioning,
+                partitioning_label=label,
+            )
+            if found.found:
+                details["cache"] = {
+                    "status": found.status,
+                    "fingerprint": fingerprint,
+                    "saved_solve_seconds": found.saved_solve_seconds,
+                    "totals": self.cache.stats_snapshot(),
+                }
+                return EvaluationResult(
+                    package=found.package,
+                    query=query,
+                    method=method,
+                    objective=found.objective,
+                    wall_seconds=time.perf_counter() - start,
+                    feasible=found.feasible,
+                    details=details,
+                )
+
+        start = time.perf_counter()
         if method is EvaluationMethod.DIRECT:
             package = self._direct.evaluate(table, query)
             details["direct_stats"] = self._direct.last_stats
         elif method is EvaluationMethod.SKETCH_REFINE:
-            partitioning = self._partitioning_for(query, partitioning_label)
             package = self._sketchrefine.evaluate(table, query, partitioning)
             details["sketchrefine_stats"] = self._sketchrefine.last_stats
         elif method is EvaluationMethod.NAIVE:
@@ -247,11 +319,34 @@ class PackageQueryEngine:
         wall_seconds = time.perf_counter() - start
 
         report = check_package(package, query)
+        objective = objective_value(package, query)
+        if cache != "bypass":
+            self.cache.store(
+                query,
+                fingerprint,
+                table,
+                query.relation,
+                method.value,
+                package,
+                objective,
+                report.feasible,
+                wall_seconds,
+                partitioning=partitioning,
+                partitioning_label=label,
+            )
+            details["cache"] = {
+                "status": "miss" if cache == "use" else "refresh",
+                "fingerprint": fingerprint,
+                "saved_solve_seconds": 0.0,
+                "totals": self.cache.stats_snapshot(),
+            }
+        else:
+            details["cache"] = {"status": "bypass"}
         return EvaluationResult(
             package=package,
             query=query,
             method=method,
-            objective=objective_value(package, query),
+            objective=objective,
             wall_seconds=wall_seconds,
             feasible=report.feasible,
             details=details,

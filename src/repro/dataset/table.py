@@ -38,11 +38,18 @@ class TableDelta:
     ``deleted_mask`` is False, in their original order) followed by the rows
     of ``inserted``.  A delta is anchored to the version it was derived from,
     so applying it to any other version is an error.
+
+    Consecutive deltas compose: :meth:`merge` coalesces this delta with the
+    next one into a single equivalent delta whose ``spans`` records how many
+    version bumps it covers, so downstream consumers (caches, batched
+    maintenance) can absorb an update burst with one row remap instead of one
+    per update.
     """
 
     base_version: int
     inserted: "Table"
     deleted_mask: np.ndarray = field(repr=False)
+    spans: int = 1
 
     def __post_init__(self):
         mask = np.asarray(self.deleted_mask)
@@ -56,7 +63,7 @@ class TableDelta:
 
     @property
     def new_version(self) -> int:
-        return self.base_version + 1
+        return self.base_version + self.spans
 
     @property
     def num_inserted(self) -> int:
@@ -81,10 +88,53 @@ class TableDelta:
         remap[survivors] = np.arange(len(survivors), dtype=np.int64)
         return remap
 
+    def merge(self, later: "TableDelta") -> "TableDelta":
+        """Coalesce this delta with the one that followed it.
+
+        ``later`` must be anchored to this delta's :attr:`new_version`.  The
+        merged delta maps the original base version directly to ``later``'s
+        new version (``spans`` adds up), and applying it yields exactly the
+        same table as applying the two deltas in sequence: base rows deleted
+        by either delta are deleted, rows this delta inserted that ``later``
+        deleted again never appear, and the surviving inserts keep their
+        order (this delta's survivors, then ``later``'s inserts).
+        """
+        if later.base_version != self.new_version:
+            raise TableError(
+                f"cannot merge: later delta targets version {later.base_version}, "
+                f"this delta produces version {self.new_version}"
+            )
+        num_survivors = len(self.deleted_mask) - self.num_deleted
+        expected = num_survivors + self.num_inserted
+        if later.deleted_mask.shape != (expected,):
+            raise TableError(
+                f"later delta's delete mask has shape {later.deleted_mask.shape}, "
+                f"expected ({expected},)"
+            )
+        # Base rows: deleted by this delta, or survived it and were deleted by
+        # ``later`` (whose mask head covers the survivors in base order).
+        merged_mask = self.deleted_mask.copy()
+        merged_mask[self.surviving_rows()] |= later.deleted_mask[:num_survivors]
+        # Inserted rows: this delta's inserts that survive ``later``'s mask
+        # tail, then ``later``'s own inserts.
+        surviving_inserts = self.inserted.filter(~later.deleted_mask[num_survivors:])
+        inserted = (
+            surviving_inserts.concat(later.inserted)
+            if later.num_inserted
+            else surviving_inserts
+        )
+        return TableDelta(
+            base_version=self.base_version,
+            inserted=inserted,
+            deleted_mask=merged_mask,
+            spans=self.spans + later.spans,
+        )
+
     def __repr__(self) -> str:
+        spans = f", spans={self.spans}" if self.spans != 1 else ""
         return (
             f"TableDelta(base_version={self.base_version}, "
-            f"inserted={self.num_inserted}, deleted={self.num_deleted})"
+            f"inserted={self.num_inserted}, deleted={self.num_deleted}{spans})"
         )
 
 
@@ -382,7 +432,11 @@ class Table:
         return self.apply_delta(delta), delta
 
     def apply_delta(self, delta: TableDelta) -> "Table":
-        """Return the table at ``delta.new_version``: survivors then inserts."""
+        """Return the table at ``delta.new_version``: survivors then inserts.
+
+        A merged delta (``spans > 1``) advances the version by its full span,
+        landing on exactly the version the unmerged sequence would have.
+        """
         if delta.base_version != self.version:
             raise TableError(
                 f"delta targets version {delta.base_version}, table is at {self.version}"
@@ -404,7 +458,7 @@ class Table:
                 arrays[col] = np.concatenate([survivors, delta.inserted._columns[col]])
             else:
                 arrays[col] = survivors
-        return Table._from_arrays(self._schema, arrays, self.name, self.version + 1)
+        return Table._from_arrays(self._schema, arrays, self.name, delta.new_version)
 
     def _as_row_block(
         self, rows: "Table" | Iterable[Sequence | Mapping[str, object]]

@@ -99,6 +99,30 @@ class Database:
         self.maintainer = maintainer or PartitionMaintainer()
         self._tables: dict[str, Table] = {}
         self._partitionings: dict[tuple[str, str], Partitioning] = {}
+        self._caches: list = []
+
+    # -- result caches -----------------------------------------------------------
+
+    def register_cache(self, cache) -> None:
+        """Subscribe a result cache to this catalog's update stream.
+
+        A registered cache receives ``notify_update(name, delta, maintained,
+        stale_labels)`` after every committed :meth:`update_table` (with each
+        label's :class:`MaintenanceStats`, whose ``touched_groups`` drive
+        delta-aware invalidation) and ``invalidate_table(name)`` whenever a
+        table is dropped or replaced out-of-band.
+        """
+        if cache not in self._caches:
+            self._caches.append(cache)
+
+    def unregister_cache(self, cache) -> None:
+        """Remove a cache from the update stream (no-op if not registered)."""
+        if cache in self._caches:
+            self._caches.remove(cache)
+
+    def _invalidate_caches(self, table_name: str) -> None:
+        for cache in self._caches:
+            cache.invalidate_table(table_name)
 
     # -- tables ----------------------------------------------------------------
 
@@ -110,9 +134,11 @@ class Database:
                 raise CatalogError(f"table {table_name!r} already exists")
             # Out-of-band replacement does not bump versions, so registered
             # partitionings can no longer be trusted (or even shape-checked)
-            # against the new table: drop them, as drop_table would.
+            # against the new table: drop them, as drop_table would.  Cached
+            # results are equally untrustworthy.
             for key in [k for k in self._partitionings if k[0] == table_name]:
                 del self._partitionings[key]
+            self._invalidate_caches(table_name)
         if name is not None and name != table.name:
             table = Table(
                 table.schema,
@@ -139,6 +165,7 @@ class Database:
         del self._tables[name]
         for key in [k for k in self._partitionings if k[0] == name]:
             del self._partitionings[key]
+        self._invalidate_caches(name)
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
@@ -199,6 +226,10 @@ class Database:
                 result.stale_labels.append(label)
         self._tables[name] = new_table
         self._partitionings.update(updated)
+        # Commit done: feed the delta (with each label's touched-group set)
+        # to the registered result caches so they can coalesce it.
+        for cache in self._caches:
+            cache.notify_update(name, delta, result.maintained, result.stale_labels)
         return result
 
     # -- partitionings -----------------------------------------------------------

@@ -104,6 +104,14 @@ class EvaluationError(ReproError):
     """A package evaluation strategy failed for a non-infeasibility reason."""
 
 
+class CacheError(EvaluationError):
+    """A result-cache operation was misused (bad capacity, missing context).
+
+    Note this covers *misuse* only: a stale or unusable entry is never an
+    error — the cache reports a miss and the engine re-solves.
+    """
+
+
 class StalePartitioningError(EvaluationError):
     """A partitioning was requested for a table version it does not describe.
 

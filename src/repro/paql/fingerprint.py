@@ -1,0 +1,181 @@
+"""Canonical fingerprints for PaQL package queries.
+
+Two PaQL texts that mean the same thing should hit the same cache entry.
+:func:`query_fingerprint` therefore hashes a *normalised* rendering of the
+query AST rather than the query text, so the fingerprint is invariant under:
+
+* whitespace, case of keywords and alias names (``AS P`` vs ``AS pkg``) —
+  aliases are purely cosmetic binders and never appear in the canonical form;
+* the order of WHERE-clause conjuncts/disjuncts (``a AND b`` ≡ ``b AND a``,
+  nested associations are flattened first);
+* the order of SUCH THAT constraints (they are conjunctive);
+* the order of terms inside a linear aggregate expression, including
+  duplicate aggregates, which are merged (``SUM(x) + SUM(x)`` ≡ ``2*SUM(x)``);
+* comparison orientation (``5 >= x`` ≡ ``x <= 5``) and number formatting
+  (``1`` vs ``1.0`` vs ``1e0``).
+
+The canonical rendering itself is exposed as :func:`canonical_query_text` for
+debugging cache keys; the fingerprint is a SHA-256 prefix of it.
+
+What the fingerprint deliberately does *not* capture: the contents or version
+of the relation the query runs over.  That is the cache key's job — a
+fingerprint identifies the *question*, the cache pairs it with the *data*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.db.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOperator,
+    Expression,
+    InList,
+    Literal,
+    LogicalOp,
+    LogicalOperator,
+    Not,
+)
+from repro.paql.ast import (
+    AggregateRef,
+    ConstraintSenseKeyword,
+    GlobalConstraint,
+    LinearAggregateExpression,
+    PackageQuery,
+)
+
+#: Length of the hex fingerprint (a SHA-256 prefix; 16 hex chars = 64 bits,
+#: far below any realistic collision risk for a per-process cache).
+_FINGERPRINT_HEX_CHARS = 16
+
+
+def query_fingerprint(query: PackageQuery) -> str:
+    """Return the canonical hex fingerprint of ``query``."""
+    text = canonical_query_text(query)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:_FINGERPRINT_HEX_CHARS]
+
+
+def canonical_query_text(query: PackageQuery) -> str:
+    """Render ``query`` into the normalised form the fingerprint hashes.
+
+    The rendering is deterministic and alias-free; it is *not* valid PaQL
+    (it exists to be hashed and eyeballed, not parsed).
+    """
+    parts = [f"FROM {query.relation}"]
+    parts.append(f"REPEAT {query.repeat if query.repeat is not None else '*'}")
+    if query.base_predicate is not None:
+        parts.append(f"WHERE {_canonical_expression(query.base_predicate)}")
+    constraints = sorted(_canonical_constraint(c) for c in query.global_constraints)
+    parts.extend(f"SUCH THAT {text}" for text in constraints)
+    if query.objective is not None:
+        parts.append(
+            f"{query.objective.direction.value} "
+            f"{_canonical_linear(query.objective.expression)}"
+        )
+    return "\n".join(parts)
+
+
+# -- per-tuple expressions ------------------------------------------------------------
+
+
+def _canonical_expression(expression: Expression) -> str:
+    if isinstance(expression, ColumnRef):
+        return f"col:{expression.name}"
+    if isinstance(expression, Literal):
+        if isinstance(expression.value, str):
+            return f"str:{expression.value!r}"
+        return f"num:{_canonical_number(float(expression.value))}"
+    if isinstance(expression, BinaryOp):
+        left = _canonical_expression(expression.left)
+        right = _canonical_expression(expression.right)
+        # + and * are commutative: order the operands canonically.
+        if expression.op.value in "+*" and right < left:
+            left, right = right, left
+        return f"({left} {expression.op.value} {right})"
+    if isinstance(expression, Comparison):
+        return _canonical_comparison(expression)
+    if isinstance(expression, LogicalOp):
+        flattened = _flatten_logical(expression.op, expression.operands)
+        rendered = sorted(_canonical_expression(o) for o in flattened)
+        return "(" + f" {expression.op.value} ".join(rendered) + ")"
+    if isinstance(expression, Not):
+        return f"(NOT {_canonical_expression(expression.operand)})"
+    if isinstance(expression, InList):
+        values = sorted(
+            f"str:{v!r}" if isinstance(v, str) else f"num:{_canonical_number(float(v))}"
+            for v in expression.values
+        )
+        return f"({_canonical_expression(expression.operand)} IN [{', '.join(values)}])"
+    raise TypeError(f"cannot fingerprint expression of type {type(expression).__name__}")
+
+
+def _canonical_comparison(comparison: Comparison) -> str:
+    left, op, right = comparison.left, comparison.op, comparison.right
+    # Orient literal-vs-expression comparisons with the literal on the right
+    # (``5 >= x`` and ``x <= 5`` are the same predicate).
+    if isinstance(left, Literal) and not isinstance(right, Literal):
+        left, right = right, left
+        op = op.flip()
+    left_text = _canonical_expression(left)
+    right_text = _canonical_expression(right)
+    # = and <> are symmetric: order the operands canonically.
+    if op in (ComparisonOperator.EQ, ComparisonOperator.NE) and right_text < left_text:
+        left_text, right_text = right_text, left_text
+    return f"({left_text} {op.value} {right_text})"
+
+
+def _flatten_logical(op: LogicalOperator, operands: list[Expression]) -> list[Expression]:
+    """Flatten nested same-operator trees: ``(a AND b) AND c`` → ``[a, b, c]``."""
+    flat: list[Expression] = []
+    for operand in operands:
+        if isinstance(operand, LogicalOp) and operand.op is op:
+            flat.extend(_flatten_logical(op, operand.operands))
+        else:
+            flat.append(operand)
+    return flat
+
+
+# -- aggregates and global constraints --------------------------------------------------
+
+
+def _canonical_aggregate(aggregate: AggregateRef) -> str:
+    target = aggregate.column if aggregate.column is not None else "*"
+    text = f"{aggregate.function.value}({target})"
+    if aggregate.filter is not None:
+        text += f"[{_canonical_expression(aggregate.filter)}]"
+    return text
+
+
+def _canonical_linear(expression: LinearAggregateExpression) -> str:
+    # Merge duplicate aggregates, drop zero coefficients, order by aggregate.
+    merged: dict[str, float] = {}
+    for coefficient, aggregate in expression.terms:
+        key = _canonical_aggregate(aggregate)
+        merged[key] = merged.get(key, 0.0) + float(coefficient)
+    terms = [
+        f"{_canonical_number(coefficient)}*{key}"
+        for key, coefficient in sorted(merged.items())
+        if coefficient != 0.0
+    ]
+    if expression.constant:
+        terms.append(_canonical_number(expression.constant))
+    return " + ".join(terms) if terms else "0"
+
+
+def _canonical_constraint(constraint: GlobalConstraint) -> str:
+    lhs = _canonical_linear(constraint.expression)
+    if constraint.sense is ConstraintSenseKeyword.BETWEEN:
+        return (
+            f"{lhs} BETWEEN {_canonical_number(constraint.lower)} "
+            f"AND {_canonical_number(constraint.upper or 0.0)}"
+        )
+    return f"{lhs} {constraint.sense.value} {_canonical_number(constraint.lower)}"
+
+
+def _canonical_number(value: float) -> str:
+    value = float(value)
+    if value == 0.0:
+        value = 0.0  # collapse -0.0
+    return repr(value)

@@ -97,6 +97,14 @@ class MaintenanceStats:
     groups_created: int = 0
     rebuilt: bool = False
     maintain_seconds: float = 0.0
+    touched_groups: frozenset = frozenset()
+    """Group ids (in the *pre-delta* gid space) that received inserts or lost
+    rows to deletions.  Delta-aware result caches use this to decide whether a
+    cached package — whose tuples all live in other groups — can survive the
+    update without a re-solve."""
+    groups_renumbered: bool = False
+    """Whether the gid space changed (groups retired, re-split or rebuilt), in
+    which case pre-delta group ids no longer name the same groups."""
 
 
 class PartitionMaintainer:
@@ -135,20 +143,38 @@ class PartitionMaintainer:
             maintained = self._rebuild(partitioning, new_table, delta)
             stats.rebuilt = True
             stats.groups_created = maintained.num_groups
+            stats.groups_renumbered = True
         else:
             inserted_gids = self._assign_inserted(partitioning, delta.inserted)
             maintained = partitioning.with_delta(new_table, delta, inserted_gids)
+            # Computed only after with_delta validated the delta's shape and
+            # version against the partitioning.
+            deleted_gids = partitioning.group_ids[delta.deleted_mask]
+            stats.touched_groups = frozenset(
+                np.union1d(np.unique(deleted_gids), np.unique(inserted_gids)).tolist()
+            )
             stats.groups_retired = partitioning.num_groups - (
                 maintained.num_groups
             )
             maintained, resplit, created = self._resplit_violators(maintained)
             stats.groups_resplit = resplit
             stats.groups_created = created
+            stats.groups_renumbered = bool(stats.groups_retired or resplit)
 
         stats.groups_after = maintained.num_groups
         stats.maintain_seconds = time.perf_counter() - start
         maintained.maintenance.maintain_seconds += stats.maintain_seconds
         return maintained, stats
+
+    def assign_rows(self, partitioning: Partitioning, rows: Table) -> np.ndarray:
+        """Preview which group each row of ``rows`` would join on insert.
+
+        This is exactly the nearest-centroid assignment :meth:`maintain`
+        applies to a delta's inserted block, exposed so callers (benchmarks,
+        cache-aware load shapers) can predict a delta's touched groups
+        without committing it.
+        """
+        return self._assign_inserted(partitioning, rows)
 
     # -- internals -------------------------------------------------------------------------
 

@@ -1,0 +1,445 @@
+"""Tests for the delta-aware package result cache.
+
+Covers the :class:`~repro.core.cache.PackageCache` data structure, its wiring
+through ``PackageQueryEngine.execute(cache=...)`` and
+``Database.update_table``, and the correctness property the cache must never
+violate: a served answer is always exactly what a fresh recompute would
+certify on the *current* data — never a stale hit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cache import PackageCache
+from repro.core.engine import PackageQueryEngine
+from repro.core.validation import check_package, objective_value
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import EvaluationError
+from repro.paql.builder import query_over
+from repro.paql.fingerprint import query_fingerprint
+
+
+def _two_cluster_table(num_per_cluster: int = 12, seed: int = 0) -> Table:
+    """Two well-separated numeric clusters: A near x=0, B near x=100.
+
+    Partitioning on ``x`` puts them in different groups, so updates aimed at
+    one cluster provably miss packages drawn from the other.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.concatenate(
+        [
+            np.round(rng.uniform(0.0, 1.0, num_per_cluster), 3),
+            np.round(rng.uniform(100.0, 101.0, num_per_cluster), 3),
+        ]
+    )
+    value = np.arange(len(x), dtype=np.float64)
+    schema = Schema.numeric(["x", "value"])
+    return Table(schema, {"x": x, "value": value}, name="clusters")
+
+
+def _cluster_a_query():
+    from repro.db.expressions import col
+
+    return (
+        query_over("clusters", name="qa")
+        .no_repetition()
+        .where(col("x") < 50.0)
+        .count_equals(3)
+        .minimize_sum("value")
+        .build()
+    )
+
+
+def _cluster_engine(tau: int = 16):
+    # τ=16 over 12+12 rows forces the quadtree to split the clusters into
+    # separate groups while leaving insert headroom before any re-split.
+    engine = PackageQueryEngine()
+    engine.register_table(_two_cluster_table(), name="clusters")
+    engine.build_partitioning("clusters", ["x"], size_threshold=tau)
+    return engine
+
+
+def _b_row(x: float = 100.5) -> tuple[float, float]:
+    return (x, 999.0)
+
+
+class TestEngineCacheModes:
+    def test_hit_returns_identical_answer(self, recipes):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes, name="recipes")
+        query = (
+            query_over("recipes")
+            .no_repetition()
+            .count_equals(3)
+            .minimize_sum("kcal")
+            .build()
+        )
+        first = engine.execute(query, method="direct")
+        second = engine.execute(query, method="direct")
+        assert first.details["cache"]["status"] == "miss"
+        assert second.details["cache"]["status"] == "hit"
+        assert second.objective == first.objective
+        assert second.package.same_contents(first.package)
+        # Per-call metric: exactly the solve time the hit spared, not the
+        # cache's running total (which lives under "totals").
+        assert second.details["cache"]["saved_solve_seconds"] == first.wall_seconds
+        assert second.details["cache"]["totals"]["hits"] == 1
+        other = (
+            query_over("recipes").no_repetition().count_equals(4).minimize_sum("kcal").build()
+        )
+        missed = engine.execute(other, method="direct")
+        assert missed.details["cache"]["status"] == "miss"
+        assert missed.details["cache"]["saved_solve_seconds"] == 0.0
+        assert missed.details["cache"]["totals"]["saved_solve_seconds"] == first.wall_seconds
+
+    def test_textual_variant_hits_the_same_entry(self, recipes):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes, name="recipes")
+        text = (
+            "SELECT PACKAGE(R) AS P FROM recipes R REPEAT 0 "
+            "SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) <= 5000 "
+            "MINIMIZE SUM(P.kcal)"
+        )
+        variant = (
+            "select package(rel) as pkg from recipes rel repeat 0 "
+            "such that sum(pkg.kcal) <= 5000.0 and count(pkg.*) = 3 "
+            "minimize sum(pkg.kcal)"
+        )
+        first = engine.execute(text, method="direct")
+        second = engine.execute(variant, method="direct")
+        assert second.details["cache"]["status"] == "hit"
+        assert second.objective == first.objective
+
+    def test_bypass_never_reads_or_writes(self, recipes):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes, name="recipes")
+        query = (
+            query_over("recipes").no_repetition().count_equals(2).minimize_sum("kcal").build()
+        )
+        first = engine.execute(query, method="direct", cache="bypass")
+        assert first.details["cache"] == {"status": "bypass"}
+        assert len(engine.cache) == 0
+        engine.execute(query, method="direct")  # populate
+        bypassed = engine.execute(query, method="direct", cache="bypass")
+        assert bypassed.details["cache"] == {"status": "bypass"}
+        assert engine.cache.stats.hits == 0
+
+    def test_refresh_resolves_and_overwrites(self, recipes):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes, name="recipes")
+        query = (
+            query_over("recipes").no_repetition().count_equals(2).minimize_sum("kcal").build()
+        )
+        engine.execute(query, method="direct")
+        refreshed = engine.execute(query, method="direct", cache="refresh")
+        assert refreshed.details["cache"]["status"] == "refresh"
+        assert engine.cache.stats.stores == 2
+        assert engine.cache.stats.hits == 0
+
+    def test_unknown_cache_mode_rejected(self, recipes):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes, name="recipes")
+        query = query_over("recipes").count_equals(2).build()
+        with pytest.raises(EvaluationError, match="cache mode"):
+            engine.execute(query, method="direct", cache="yolo")
+
+    def test_methods_do_not_share_entries(self, recipes):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes, name="recipes")
+        query = (
+            query_over("recipes").no_repetition().count_equals(2).minimize_sum("kcal").build()
+        )
+        direct = engine.execute(query, method="direct")
+        naive = engine.execute(query, method="naive")
+        assert naive.details["cache"]["status"] == "miss"
+        assert naive.objective == direct.objective
+        assert engine.execute(query, method="naive").details["cache"]["status"] == "hit"
+
+
+class TestDeltaInvalidation:
+    def test_direct_entry_invalidates_on_any_version_bump(self, recipes):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes, name="recipes")
+        query = (
+            query_over("recipes").no_repetition().count_equals(2).minimize_sum("kcal").build()
+        )
+        engine.execute(query, method="direct")
+        engine.update_table("recipes", delete=[recipes.num_rows - 1])
+        result = engine.execute(query, method="direct")
+        assert result.details["cache"]["status"] == "miss"
+        assert engine.cache.stats.invalidations >= 1
+
+    def test_sketchrefine_revalidates_when_delta_misses_its_groups(self):
+        engine = _cluster_engine()
+        query = _cluster_a_query()
+        first = engine.execute(query, method="sketchrefine")
+        assert first.details["cache"]["status"] == "miss"
+        update = engine.update_table("clusters", insert=[_b_row()])
+        stats = update.maintained["default"]
+        assert not stats.groups_renumbered
+        result = engine.execute(query, method="sketchrefine")
+        assert result.details["cache"]["status"] == "revalidated"
+        assert result.objective == first.objective
+        assert result.feasible
+        # The served package must be valid against the *current* table.
+        assert check_package(result.package, query).feasible
+        assert result.package.table is engine.table("clusters")
+
+    def test_sketchrefine_invalidates_when_delta_touches_its_groups(self):
+        engine = _cluster_engine()
+        query = _cluster_a_query()
+        first = engine.execute(query, method="sketchrefine")
+        # Insert into cluster A — the group the package lives in.
+        engine.update_table("clusters", insert=[(0.5, 999.0)])
+        result = engine.execute(query, method="sketchrefine")
+        assert result.details["cache"]["status"] == "miss"
+
+    def test_sketchrefine_invalidates_when_a_package_row_is_deleted(self):
+        engine = _cluster_engine()
+        query = _cluster_a_query()
+        first = engine.execute(query, method="sketchrefine")
+        victim = int(first.package.indices[0])
+        engine.update_table("clusters", delete=[victim])
+        result = engine.execute(query, method="sketchrefine")
+        assert result.details["cache"]["status"] == "miss"
+        # The fresh solve ran over the post-delete table, not the stale one.
+        assert result.package.table is engine.table("clusters")
+        assert check_package(result.package, query).feasible
+
+    def test_coalesced_update_burst_needs_one_revalidation(self):
+        engine = _cluster_engine()
+        query = _cluster_a_query()
+        first = engine.execute(query, method="sketchrefine")
+        # Three updates, all confined to cluster B, before the next lookup.
+        engine.update_table("clusters", insert=[_b_row(100.2)])
+        engine.update_table("clusters", insert=[_b_row(100.8)])
+        b_rows = np.nonzero(engine.table("clusters").numeric_column("x") > 50.0)[0]
+        engine.update_table("clusters", delete=[int(b_rows[0])])
+        result = engine.execute(query, method="sketchrefine")
+        assert result.details["cache"]["status"] == "revalidated"
+        assert result.objective == first.objective
+        assert engine.cache.stats.revalidations == 1
+
+    def test_group_renumbering_invalidates_conservatively(self):
+        engine = _cluster_engine()
+        query = _cluster_a_query()
+        engine.execute(query, method="sketchrefine")
+        # Deleting all of cluster B retires its group: the gid space is
+        # renumbered, so even a package in untouched groups is dropped.
+        b_rows = np.nonzero(engine.table("clusters").numeric_column("x") > 50.0)[0]
+        update = engine.update_table("clusters", delete=b_rows)
+        assert update.maintained["default"].groups_renumbered
+        result = engine.execute(query, method="sketchrefine")
+        assert result.details["cache"]["status"] == "miss"
+
+    def test_stale_policy_drops_the_entry(self):
+        engine = _cluster_engine()
+        query = _cluster_a_query()
+        engine.execute(query, method="sketchrefine")
+        engine.update_table("clusters", insert=[_b_row()], policy="stale")
+        # Explicit SKETCHREFINE must still raise — the cache never masks
+        # staleness (regression for the PR 4 error paths).
+        from repro.errors import StalePartitioningError
+
+        with pytest.raises(StalePartitioningError, match="stale"):
+            engine.execute(query, method="sketchrefine")
+
+    def test_table_replacement_invalidates(self, recipes):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes, name="recipes")
+        query = (
+            query_over("recipes").no_repetition().count_equals(2).minimize_sum("kcal").build()
+        )
+        engine.execute(query, method="direct")
+        engine.register_table(recipes, name="recipes", replace=True)
+        assert len(engine.cache) == 0
+        assert engine.execute(query, method="direct").details["cache"]["status"] == "miss"
+
+
+class TestAutoFallbackWithCache:
+    """PR 4's AUTO fallback notes must survive — and explain — cached paths."""
+
+    def test_auto_fallback_note_present_on_cached_answers(self):
+        engine = PackageQueryEngine(auto_direct_threshold=5)
+        engine.register_table(_two_cluster_table(), name="clusters")
+        query = _cluster_a_query()
+        first = engine.execute(query)  # AUTO, no partitioning -> DIRECT + note
+        assert "no partitioning" in first.details["auto"]
+        second = engine.execute(query)
+        assert second.details["cache"]["status"] == "hit"
+        assert "no partitioning" in second.details["auto"]
+
+    def test_auto_stale_fallback_does_not_serve_sketchrefine_entry(self):
+        engine = PackageQueryEngine(auto_direct_threshold=5)
+        engine.register_table(_two_cluster_table(), name="clusters")
+        engine.build_partitioning("clusters", ["x"], size_threshold=16)
+        query = _cluster_a_query()
+        cached = engine.execute(query, method="sketchrefine")
+        engine.update_table("clusters", insert=[_b_row()], policy="stale")
+        result = engine.execute(query)  # AUTO
+        assert "stale" in result.details["auto"]
+        # AUTO fell back to DIRECT; the sketchrefine entry was dropped, not
+        # served, and the DIRECT answer is a fresh (exact) solve.
+        assert result.method.value == "direct"
+        assert result.details["cache"]["status"] == "miss"
+
+    def test_auto_and_explicit_direct_share_an_entry(self):
+        engine = PackageQueryEngine(auto_direct_threshold=1000)
+        engine.register_table(_two_cluster_table(), name="clusters")
+        query = _cluster_a_query()
+        engine.execute(query)  # AUTO -> DIRECT (small table)
+        explicit = engine.execute(query, method="direct")
+        assert explicit.details["cache"]["status"] == "hit"
+
+
+class TestCacheUnit:
+    def test_lru_eviction(self, recipes):
+        engine = PackageQueryEngine(cache=PackageCache(max_entries=2))
+        engine.register_table(recipes, name="recipes")
+        queries = [
+            query_over("recipes").no_repetition().count_equals(k).minimize_sum("kcal").build()
+            for k in (1, 2, 3)
+        ]
+        for query in queries:
+            engine.execute(query, method="direct")
+        assert len(engine.cache) == 2
+        assert engine.cache.stats.evictions == 1
+        # The oldest entry (k=1) was evicted; k=3 is still warm.
+        assert engine.execute(queries[0], method="direct").details["cache"]["status"] == "miss"
+        assert engine.execute(queries[2], method="direct").details["cache"]["status"] == "hit"
+
+    def test_version_drift_without_notification_is_a_safe_miss(self, recipes):
+        # A cache not registered with the catalog sees version changes only
+        # at lookup time — it must drop the entry, never serve it.
+        cache = PackageCache()
+        engine = PackageQueryEngine(cache=cache)
+        engine.register_table(recipes, name="recipes")
+        query = (
+            query_over("recipes").no_repetition().count_equals(2).minimize_sum("kcal").build()
+        )
+        engine.execute(query, method="direct")
+        engine.database.unregister_cache(cache)
+        engine.update_table("recipes", delete=[0])
+        result = engine.execute(query, method="direct")
+        assert result.details["cache"]["status"] == "miss"
+
+    def test_store_requires_partitioning_for_sketchrefine(self, recipes):
+        cache = PackageCache()
+        query = query_over("recipes").count_equals(1).build()
+        from repro.core.package import Package
+
+        with pytest.raises(EvaluationError, match="partitioning"):
+            cache.store(
+                query,
+                query_fingerprint(query),
+                recipes,
+                "recipes",
+                "sketchrefine",
+                Package.empty(recipes),
+                0.0,
+                True,
+                1.0,
+            )
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(EvaluationError):
+            PackageCache(max_entries=0)
+
+    def test_clear_and_invalidate_table(self, recipes):
+        engine = PackageQueryEngine()
+        engine.register_table(recipes, name="recipes")
+        query = (
+            query_over("recipes").no_repetition().count_equals(2).minimize_sum("kcal").build()
+        )
+        engine.execute(query, method="direct")
+        engine.cache.invalidate_table("other")
+        assert len(engine.cache) == 1
+        engine.cache.invalidate_table("recipes")
+        assert len(engine.cache) == 0
+        engine.execute(query, method="direct")
+        engine.cache.clear()
+        assert len(engine.cache) == 0
+
+
+class TestCacheCorrectnessProperty:
+    """After arbitrary insert/delete streams, a served answer always equals
+    what a fresh ``cache="bypass"`` recompute certifies — never a stale hit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_direct_answers_match_fresh_recompute_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        engine = PackageQueryEngine()
+        schema = Schema.numeric(["a", "b"])
+        table = Table(
+            schema,
+            {
+                "a": rng.integers(0, 30, 12).astype(np.float64),
+                "b": rng.integers(0, 30, 12).astype(np.float64),
+            },
+            name="stream",
+        )
+        engine.register_table(table, name="stream")
+        query = (
+            query_over("stream")
+            .no_repetition()
+            .count_equals(3)
+            .sum_at_most("b", 90.0)
+            .minimize_sum("a")
+            .build()
+        )
+        for step in range(8):
+            if rng.random() < 0.5:
+                current = engine.table("stream")
+                insert = [
+                    (float(rng.integers(0, 30)), float(rng.integers(0, 30)))
+                    for _ in range(int(rng.integers(0, 3)))
+                ]
+                deletable = max(0, current.num_rows - 8)
+                delete = rng.choice(
+                    current.num_rows,
+                    size=int(rng.integers(0, min(3, deletable + 1))),
+                    replace=False,
+                )
+                if insert or len(delete):
+                    engine.update_table(
+                        "stream", insert=insert or None, delete=delete if len(delete) else None
+                    )
+            cached = engine.execute(query, method="direct")
+            fresh = engine.execute(query, method="direct", cache="bypass")
+            status = cached.details["cache"]["status"]
+            assert cached.objective == fresh.objective, (
+                f"seed={seed} step={step} status={status}: cached objective "
+                f"{cached.objective} != fresh {fresh.objective}"
+            )
+            assert cached.feasible == fresh.feasible
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sketchrefine_never_serves_a_stale_package(self, seed):
+        rng = np.random.default_rng(seed)
+        engine = _cluster_engine()
+        query = _cluster_a_query()
+        for step in range(8):
+            action = rng.random()
+            if action < 0.4:  # update confined to cluster B
+                engine.update_table(
+                    "clusters", insert=[_b_row(float(100.0 + rng.random()))]
+                )
+            elif action < 0.6:  # update touching cluster A
+                engine.update_table(
+                    "clusters", insert=[(float(rng.random()), 999.0)]
+                )
+            result = engine.execute(query, method="sketchrefine")
+            status = result.details["cache"]["status"]
+            current = engine.table("clusters")
+            # Whatever the status, the answer must be internally consistent
+            # with the *current* table: indices valid, feasibility certified
+            # by the independent checker, objective reproducible.
+            assert result.package.table is current, f"seed={seed} step={step}"
+            report = check_package(result.package, query)
+            assert report.feasible, f"seed={seed} step={step} status={status}"
+            assert result.objective == objective_value(result.package, query), (
+                f"seed={seed} step={step} status={status}"
+            )

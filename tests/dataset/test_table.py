@@ -302,3 +302,74 @@ class TestVersionedUpdates:
         # wrong rows if interpreted as indices.
         with pytest.raises(TableError, match="duplicate"):
             small_numeric_table.delete_rows([0, 1, 1, 0])
+
+
+class TestDeltaMerge:
+    def _random_delta(self, table, rng):
+        """A random combined insert/delete change for ``table``."""
+        num_insert = int(rng.integers(0, 4))
+        insert = [
+            (float(rng.integers(0, 100)), float(rng.integers(0, 100)), int(rng.integers(0, 2)))
+            for _ in range(num_insert)
+        ]
+        mask = rng.random(table.num_rows) < 0.25
+        return table.update_rows(insert=insert or None, delete=mask)
+
+    def test_merge_equals_sequential_application(self, small_numeric_table):
+        base = small_numeric_table
+        mid, first = base.update_rows(insert=[(6.0, 60.0, 0)], delete=[1])
+        final, second = mid.update_rows(insert=[(7.0, 70.0, 1)], delete=[0, 4])
+        merged = first.merge(second)
+        assert merged.base_version == 0
+        assert merged.spans == 2
+        assert merged.new_version == final.version == 2
+        replayed = base.apply_delta(merged)
+        assert replayed.version == final.version
+        assert replayed.equals(final)
+
+    def test_merge_drops_inserts_deleted_by_the_later_delta(self, small_numeric_table):
+        base = small_numeric_table
+        mid, first = base.append_rows([(6.0, 60.0, 0), (7.0, 70.0, 1)])
+        # Delete the first of the two freshly inserted rows (index 5 of mid).
+        final, second = mid.delete_rows([5])
+        merged = first.merge(second)
+        assert merged.num_inserted == 1
+        assert merged.inserted.column("a").tolist() == [7.0]
+        assert base.apply_delta(merged).equals(final)
+
+    def test_merge_version_mismatch_rejected(self, small_numeric_table):
+        _, first = small_numeric_table.append_rows([(6.0, 60.0, 0)])
+        with pytest.raises(TableError, match="merge"):
+            first.merge(first)
+
+    def test_merge_mask_shape_mismatch_rejected(self, small_numeric_table):
+        from repro.dataset.table import TableDelta
+
+        _, first = small_numeric_table.append_rows([(6.0, 60.0, 0)])
+        bad = TableDelta(1, Table.empty(small_numeric_table.schema), np.zeros(3, dtype=bool))
+        with pytest.raises(TableError, match="shape"):
+            first.merge(bad)
+
+    def test_row_remap_of_merged_delta_composes(self, small_numeric_table):
+        base = small_numeric_table
+        mid, first = base.update_rows(insert=[(6.0, 60.0, 0)], delete=[2])
+        final, second = mid.delete_rows([0])
+        merged = first.merge(second)
+        remap = merged.row_remap()
+        # Row 0 deleted second, row 2 deleted first; survivors keep order.
+        assert remap.tolist() == [-1, 0, -1, 1, 2]
+        survivors = base.take(np.nonzero(remap >= 0)[0])
+        for position, row in enumerate(np.nonzero(remap >= 0)[0]):
+            assert final.row(int(remap[row])) == base.row(int(row))
+
+    def test_merged_chain_matches_random_stream(self, small_numeric_table, rng):
+        table = small_numeric_table
+        merged = None
+        expected = table
+        for _ in range(6):
+            expected, delta = self._random_delta(expected, rng)
+            merged = delta if merged is None else merged.merge(delta)
+        replayed = small_numeric_table.apply_delta(merged)
+        assert merged.spans == 6
+        assert replayed.version == expected.version == 6
+        assert replayed.equals(expected)

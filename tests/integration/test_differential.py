@@ -1,0 +1,162 @@
+"""Randomized differential test harness for the three evaluation strategies.
+
+Every instance is generated from a single integer seed: a small random table
+(integer-valued floats, so objective arithmetic is exact in float64) and a
+random PaQL query with a strict COUNT, optional SUM bounds and a MIN/MAX
+objective.  On each instance the harness asserts:
+
+* NAIVE (exhaustive self-join enumeration) and DIRECT (ILP) agree exactly —
+  same infeasibility verdict, and bitwise-equal optimal objectives;
+* SKETCHREFINE, when it returns a package, returns a *feasible* one (checked
+  by the independent :func:`check_package` oracle); a reported infeasibility
+  must either be real (NAIVE agrees) or carry the paper's
+  ``false_negative_possible`` flag;
+* all of the above still holds after interleaved ``update_table`` deltas, and
+  answers served by the result cache equal a ``cache="bypass"`` recompute.
+
+A failure is reprintable from its seed alone: the assertion message embeds
+the seed and the generated PaQL text, and
+``pytest "tests/integration/test_differential.py::test_differential[<seed>]"``
+re-runs exactly that instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import PackageQueryEngine
+from repro.core.validation import check_package
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import InfeasiblePackageQueryError
+from repro.paql.ast import PackageQuery
+from repro.paql.builder import query_over
+from repro.paql.pretty import format_paql
+
+#: Number of seeded random instances exercised in CI.
+NUM_INSTANCES = 55
+
+
+def _random_table(rng: np.random.Generator) -> Table:
+    num_rows = int(rng.integers(8, 13))
+    schema = Schema.numeric(["a", "b"])
+    return Table(
+        schema,
+        {
+            "a": rng.integers(0, 21, num_rows).astype(np.float64),
+            "b": rng.integers(0, 21, num_rows).astype(np.float64),
+        },
+        name="diff",
+    )
+
+
+def _random_query(rng: np.random.Generator, table: Table) -> PackageQuery:
+    cardinality = int(rng.integers(2, 4))
+    builder = query_over("diff").no_repetition().count_equals(cardinality)
+    b_values = np.sort(table.numeric_column("b"))
+    # Bound anchored to the data: the sum of k mid-range b values, widened or
+    # tightened at random so both feasible and infeasible instances occur.
+    anchor = float(b_values[: cardinality + 2].sum())
+    kind = rng.random()
+    if kind < 0.3:
+        builder = builder.sum_at_most("b", anchor * float(rng.uniform(0.6, 1.6)))
+    elif kind < 0.6:
+        builder = builder.sum_at_least("b", anchor * float(rng.uniform(0.4, 1.2)))
+    elif kind < 0.8:
+        low = anchor * float(rng.uniform(0.3, 0.8))
+        builder = builder.sum_between("b", low, low + anchor * float(rng.uniform(0.2, 1.0)))
+    if rng.random() < 0.5:
+        builder = builder.minimize_sum("a")
+    else:
+        builder = builder.maximize_sum("a")
+    return builder.build()
+
+
+def _random_delta(rng: np.random.Generator, table: Table):
+    insert = [
+        (float(rng.integers(0, 21)), float(rng.integers(0, 21)))
+        for _ in range(int(rng.integers(1, 3)))
+    ]
+    num_delete = int(rng.integers(0, min(3, table.num_rows - 7) + 1))
+    delete = rng.choice(table.num_rows, size=num_delete, replace=False)
+    return insert, (delete if num_delete else None)
+
+
+def _objective_or_infeasible(engine: PackageQueryEngine, query, method: str):
+    """Evaluate and return ``(objective, feasible, exception)``."""
+    try:
+        result = engine.execute(query, method=method, cache="bypass")
+    except InfeasiblePackageQueryError as exc:
+        return float("nan"), False, exc
+    return result.objective, True, None
+
+
+def _context(seed: int, query, phase: str) -> str:
+    return (
+        f"[seed={seed}, {phase}] reproduce with: "
+        f"pytest 'tests/integration/test_differential.py::test_differential[{seed}]'\n"
+        f"{format_paql(query)}"
+    )
+
+
+def _check_instance(engine: PackageQueryEngine, query, seed: int, phase: str) -> None:
+    context = _context(seed, query, phase)
+
+    naive_objective, naive_feasible, _ = _objective_or_infeasible(engine, query, "naive")
+    direct_objective, direct_feasible, _ = _objective_or_infeasible(engine, query, "direct")
+
+    assert naive_feasible == direct_feasible, (
+        f"{context}\nNAIVE feasible={naive_feasible} but DIRECT feasible={direct_feasible}"
+    )
+    if naive_feasible:
+        assert naive_objective == direct_objective, (
+            f"{context}\nNAIVE objective {naive_objective!r} != DIRECT {direct_objective!r}"
+        )
+
+    # SKETCHREFINE: any returned package must pass the independent checker; a
+    # claimed infeasibility must be real or flagged as possibly false.
+    try:
+        sketch = engine.execute(query, method="sketchrefine", cache="bypass")
+    except InfeasiblePackageQueryError as exc:
+        assert (not naive_feasible) or exc.false_negative_possible, (
+            f"{context}\nSKETCHREFINE claimed a hard infeasibility on a feasible instance"
+        )
+    else:
+        assert check_package(sketch.package, query).feasible, (
+            f"{context}\nSKETCHREFINE returned an infeasible package"
+        )
+
+    # Cache differential: a served answer equals the bypass recompute.
+    engine.execute(query, method="direct", cache="refresh")
+    cached = engine.execute(query, method="direct")
+    assert cached.details["cache"]["status"] == "hit", context
+    if direct_feasible:
+        assert cached.objective == direct_objective, (
+            f"{context}\ncached DIRECT objective {cached.objective!r} "
+            f"!= fresh {direct_objective!r}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(NUM_INSTANCES))
+def test_differential(seed: int):
+    rng = np.random.default_rng(1_000_003 * (seed + 1))
+    engine = PackageQueryEngine()
+    table = _random_table(rng)
+    engine.register_table(table, name="diff")
+    engine.build_partitioning("diff", ["a", "b"], size_threshold=4)
+    query = _random_query(rng, table)
+
+    _check_instance(engine, query, seed, phase="initial")
+
+    # Interleave one or two versioned deltas and re-run the whole comparison
+    # on each new table version.
+    for round_number in range(int(rng.integers(1, 3))):
+        insert, delete = _random_delta(rng, engine.table("diff"))
+        engine.update_table("diff", insert=insert, delete=delete)
+        _check_instance(engine, query, seed, phase=f"after delta {round_number + 1}")
+
+
+def test_harness_runs_enough_instances():
+    """The acceptance criterion pins a floor on the differential coverage."""
+    assert NUM_INSTANCES >= 50

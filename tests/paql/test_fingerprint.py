@@ -1,0 +1,160 @@
+"""Stability tests for the canonical query fingerprint.
+
+The fingerprint must identify the *question*, not its spelling: textual
+variants (whitespace, alias names, conjunct order, number formatting) map to
+one fingerprint, and pretty-printing round-trips through the parser without
+changing it.  Distinct questions must keep distinct fingerprints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.expressions import col
+from repro.paql.builder import query_over
+from repro.paql.fingerprint import canonical_query_text, query_fingerprint
+from repro.paql.parser import parse_paql
+from repro.paql.pretty import format_paql
+
+BASE_QUERY = """
+SELECT PACKAGE(R) AS P
+FROM recipes R REPEAT 0
+WHERE R.kcal > 100 AND R.saturated_fat < 30
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) <= 2000
+MINIMIZE SUM(P.saturated_fat)
+"""
+
+
+class TestTextualVariants:
+    def test_whitespace_and_case_variants_share_a_fingerprint(self):
+        squashed = (
+            "select   package(R) as P from recipes R repeat 0 "
+            "where R.kcal > 100 and R.saturated_fat < 30 "
+            "such that count(P.*) = 3 and sum(P.kcal) <= 2000 "
+            "minimize sum(P.saturated_fat)"
+        )
+        assert query_fingerprint(parse_paql(BASE_QUERY)) == query_fingerprint(
+            parse_paql(squashed)
+        )
+
+    def test_alias_names_are_cosmetic(self):
+        renamed = BASE_QUERY.replace("(R)", "(rel)").replace(" R ", " rel ").replace(
+            "R.", "rel."
+        ).replace("AS P", "AS pkg").replace("P.", "pkg.")
+        assert query_fingerprint(parse_paql(BASE_QUERY)) == query_fingerprint(
+            parse_paql(renamed)
+        )
+
+    def test_where_conjunct_order_is_irrelevant(self):
+        swapped = BASE_QUERY.replace(
+            "WHERE R.kcal > 100 AND R.saturated_fat < 30",
+            "WHERE R.saturated_fat < 30 AND R.kcal > 100",
+        )
+        assert query_fingerprint(parse_paql(BASE_QUERY)) == query_fingerprint(
+            parse_paql(swapped)
+        )
+
+    def test_such_that_constraint_order_is_irrelevant(self):
+        swapped = BASE_QUERY.replace(
+            "SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) <= 2000",
+            "SUCH THAT SUM(P.kcal) <= 2000 AND COUNT(P.*) = 3",
+        )
+        assert query_fingerprint(parse_paql(BASE_QUERY)) == query_fingerprint(
+            parse_paql(swapped)
+        )
+
+    def test_number_formatting_is_normalised(self):
+        reformatted = BASE_QUERY.replace("<= 2000", "<= 2000.0").replace("= 3", "= 3.0")
+        assert query_fingerprint(parse_paql(BASE_QUERY)) == query_fingerprint(
+            parse_paql(reformatted)
+        )
+
+    def test_comparison_orientation_is_normalised(self):
+        flipped = BASE_QUERY.replace("R.kcal > 100", "100 < R.kcal")
+        assert query_fingerprint(parse_paql(BASE_QUERY)) == query_fingerprint(
+            parse_paql(flipped)
+        )
+
+    def test_nested_and_flattening(self):
+        left = query_over("t").where((col("a") > 1) & ((col("b") > 2) & (col("c") > 3)))
+        right = query_over("t").where(((col("c") > 3) & (col("a") > 1)) & (col("b") > 2))
+        assert query_fingerprint(left.build()) == query_fingerprint(right.build())
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            BASE_QUERY,
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT COUNT(P.*) BETWEEN 2 AND 5",
+            (
+                "SELECT PACKAGE(R) AS P FROM t R REPEAT 2 "
+                "WHERE R.x IN (1, 2, 3) OR NOT R.y = 'a' "
+                "SUCH THAT AVG(P.x) >= 0.5 MAXIMIZE SUM(P.x)"
+            ),
+            (
+                "SELECT PACKAGE(R) AS P FROM t R "
+                "SUCH THAT (SELECT COUNT(*) FROM P WHERE P.x > 0) >= 1 "
+                "MINIMIZE COUNT(P.*)"
+            ),
+        ],
+    )
+    def test_parse_pretty_parse_keeps_the_fingerprint(self, text):
+        query = parse_paql(text)
+        round_tripped = parse_paql(format_paql(query))
+        assert query_fingerprint(round_tripped) == query_fingerprint(query)
+        assert canonical_query_text(round_tripped) == canonical_query_text(query)
+
+
+class TestDistinctness:
+    def test_different_bounds_differ(self):
+        a = parse_paql(BASE_QUERY)
+        b = parse_paql(BASE_QUERY.replace("<= 2000", "<= 2001"))
+        assert query_fingerprint(a) != query_fingerprint(b)
+
+    def test_different_relation_differs(self):
+        b = parse_paql(BASE_QUERY.replace("FROM recipes", "FROM other"))
+        assert query_fingerprint(parse_paql(BASE_QUERY)) != query_fingerprint(b)
+
+    def test_objective_direction_differs(self):
+        b = parse_paql(BASE_QUERY.replace("MINIMIZE", "MAXIMIZE"))
+        assert query_fingerprint(parse_paql(BASE_QUERY)) != query_fingerprint(b)
+
+    def test_repeat_bound_differs(self):
+        b = parse_paql(BASE_QUERY.replace("REPEAT 0", "REPEAT 1"))
+        assert query_fingerprint(parse_paql(BASE_QUERY)) != query_fingerprint(b)
+
+    def test_missing_repeat_differs_from_repeat_zero(self):
+        b = parse_paql(BASE_QUERY.replace(" REPEAT 0", ""))
+        assert query_fingerprint(parse_paql(BASE_QUERY)) != query_fingerprint(b)
+
+    def test_filtered_aggregate_differs_from_plain(self):
+        plain = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT COUNT(P.*) >= 1"
+        )
+        filtered = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R "
+            "SUCH THAT (SELECT COUNT(*) FROM P WHERE P.x > 0) >= 1"
+        )
+        assert query_fingerprint(plain) != query_fingerprint(filtered)
+
+
+class TestLinearNormalisation:
+    def test_duplicate_aggregates_merge(self):
+        doubled = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R "
+            "SUCH THAT SUM(P.x) + SUM(P.x) <= 10"
+        )
+        scaled = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT 2 * SUM(P.x) <= 10"
+        )
+        assert query_fingerprint(doubled) == query_fingerprint(scaled)
+
+    def test_term_order_is_irrelevant(self):
+        ab = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT SUM(P.a) + SUM(P.b) <= 10"
+        )
+        ba = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT SUM(P.b) + SUM(P.a) <= 10"
+        )
+        assert query_fingerprint(ab) == query_fingerprint(ba)
