@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Record the parallel-refine baseline as ``BENCH_parallel.json``.
+
+Measures what the worker-pool solve plane buys on the refine phase of a
+Galaxy-style query over the 20k-row synthetic Galaxy table.  The query is
+shaped so the sketch spreads over many groups (its cardinality exceeds the
+per-group size cap several times over), giving the refine phase a batch of
+independent per-group ILPs to fan out:
+
+* **refine sweep** — the same query runs at 1, 2, 4 and 8 workers (best of
+  ``--repeats`` runs each); the answer package and objective must be
+  identical at every worker count (the deterministic-merge contract), and
+  the JSON records the refine wall time, speedup over serial, and the
+  plane's own accounting (pool wall, in-worker solve time, merge wait);
+* **seed fan-out** — a batch of differential-style seeded DIRECT solves runs
+  through the same :class:`SolvePool`, serial vs parallel, with bit-equal
+  results required.
+
+The JSON is committed in-repo for a trajectory across PRs; CI re-generates
+it on a multi-core runner and asserts a >= 1.5x refine speedup at 4 workers.
+On a single-core machine the sweep still runs (and still must be
+bit-identical) but the speedup hovers around 1x — the committed file records
+``cpus`` so readers can tell which regime produced it.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/parallel_refine.py [--rows 20000] [--out BENCH_parallel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import PackageQueryEngine
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.exec.pool import SolvePool
+from repro.paql.builder import query_over
+from repro.workloads.galaxy import galaxy_table
+
+ATTRIBUTES = ["petroMag_r", "redshift", "petroFlux_r"]
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _build_query(table, cardinality: int):
+    """A Galaxy Q1-style query whose answer must straddle many groups.
+
+    ``cardinality`` tuples with NO REPETITION and a per-group size cap of τ
+    force the sketch to pick from at least ``cardinality / τ`` groups — that
+    is the refine batch the pool fans out.
+    """
+    mean_z = float(np.mean(table.numeric_column("redshift")))
+    mean_mag = float(np.mean(table.numeric_column("petroMag_r")))
+    return (
+        query_over("galaxy", name="galaxy_parallel_q1")
+        .no_repetition()
+        .count_equals(cardinality)
+        .sum_between(
+            "redshift", 0.7 * mean_z * cardinality, 1.3 * mean_z * cardinality
+        )
+        .sum_between(
+            "petroMag_r", 0.9 * mean_mag * cardinality, 1.1 * mean_mag * cardinality
+        )
+        .maximize_sum("petroFlux_r")
+        .build()
+    )
+
+
+def _refine_run(engine, query, workers: int):
+    """One bypass execution; returns (package_map, objective, stats)."""
+    result = engine.execute(
+        query, method="sketchrefine", cache="bypass", workers=workers
+    )
+    stats = engine._sketchrefine.last_stats
+    return result.package.as_multiplicity_map(), result.objective, stats
+
+
+def run_seed(seed: int) -> tuple[int, float]:
+    """One differential-style seeded DIRECT solve (the fan-out work unit)."""
+    rng = np.random.default_rng(1_000_003 * (seed + 1))
+    num_rows = int(rng.integers(40, 60))
+    table = Table(
+        Schema.numeric(["a", "b"]),
+        {
+            "a": rng.integers(0, 21, num_rows).astype(np.float64),
+            "b": rng.integers(0, 21, num_rows).astype(np.float64),
+        },
+        name="diff",
+    )
+    engine = PackageQueryEngine()
+    engine.register_table(table, name="diff")
+    query = (
+        query_over("diff")
+        .no_repetition()
+        .count_equals(int(rng.integers(3, 6)))
+        .sum_at_most("b", float(np.sort(table.numeric_column("b"))[:8].sum()) * 1.4)
+        .maximize_sum("a")
+        .build()
+    )
+    result = engine.execute(query, method="direct", cache="bypass")
+    return seed, result.objective
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument("--tau", type=int, default=250)
+    parser.add_argument("--cardinality", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--fanout-seeds", type=int, default=24)
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args()
+
+    table = galaxy_table(args.rows, seed=args.seed)
+    engine = PackageQueryEngine()
+    engine.register_table(table, name="galaxy")
+    engine.build_partitioning("galaxy", ATTRIBUTES, size_threshold=args.tau)
+    query = _build_query(table, args.cardinality)
+
+    # ---- refine sweep across worker counts ----------------------------------------
+    reference_package = None
+    reference_objective = None
+    objectives_match = True
+    sweep: dict[str, dict] = {}
+    for workers in WORKER_COUNTS:
+        best = None
+        for _ in range(args.repeats):
+            package, objective, stats = _refine_run(engine, query, workers)
+            if best is None or stats.refine_seconds < best[2].refine_seconds:
+                best = (package, objective, stats)
+        package, objective, stats = best
+        if reference_package is None:
+            reference_package, reference_objective = package, objective
+        elif package != reference_package or objective != reference_objective:
+            objectives_match = False
+        sweep[str(workers)] = {
+            "refine_seconds": round(stats.refine_seconds, 6),
+            "total_seconds": round(stats.total_seconds, 6),
+            "refine_queries": stats.refine_queries,
+            "refine_rounds": stats.refine_rounds,
+            "merge_deferrals": stats.merge_deferrals,
+            "refine_parallel_tasks": stats.refine_parallel_tasks,
+            "pool_wall_ms": round(stats.pool_wall_ms, 3),
+            "merge_wait_ms": round(stats.merge_wait_ms, 3),
+            "child_solve_ms": round(stats.child_solve_ms, 3),
+        }
+        print(
+            f"workers={workers}: refine {stats.refine_seconds * 1e3:.1f} ms "
+            f"({stats.refine_queries} refine ILPs, "
+            f"{stats.refine_parallel_tasks} in workers), "
+            f"objective {objective:.3f}"
+        )
+    serial_refine = sweep["1"]["refine_seconds"]
+    refine_speedup = {
+        w: round(serial_refine / entry["refine_seconds"], 3)
+        if entry["refine_seconds"] > 0
+        else float("inf")
+        for w, entry in sweep.items()
+    }
+    print(f"refine speedup vs serial: {refine_speedup} (cpus={os.cpu_count()})")
+    assert objectives_match, "parallel refine diverged from the serial answer"
+    assert sweep["1"]["refine_queries"] >= 8, (
+        "workload too small to exercise the pool: "
+        f"only {sweep['1']['refine_queries']} refine ILPs"
+    )
+
+    # ---- seed fan-out through the same pool ----------------------------------------
+    seeds = list(range(args.fanout_seeds))
+    started = time.perf_counter()
+    serial_results = SolvePool(1).map(run_seed, seeds)
+    fanout_serial_seconds = time.perf_counter() - started
+    with SolvePool(4) as pool:
+        started = time.perf_counter()
+        parallel_results = pool.map(run_seed, seeds)
+        fanout_parallel_seconds = time.perf_counter() - started
+    fanout_match = serial_results == parallel_results
+    fanout_speedup = (
+        fanout_serial_seconds / fanout_parallel_seconds
+        if fanout_parallel_seconds > 0
+        else float("inf")
+    )
+    print(
+        f"seed fan-out x{len(seeds)}: serial {fanout_serial_seconds * 1e3:.1f} ms, "
+        f"4 workers {fanout_parallel_seconds * 1e3:.1f} ms "
+        f"({fanout_speedup:.2f}x), results match: {fanout_match}"
+    )
+    assert fanout_match, "parallel seed fan-out diverged from serial results"
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "rows": args.rows,
+        "tau": args.tau,
+        "cardinality": args.cardinality,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "query": (
+            f"no-repetition count={args.cardinality}, sum(redshift) window, "
+            "maximize sum(petroFlux_r)"
+        ),
+        "objective": reference_objective,
+        "objectives_match": objectives_match,
+        "refine": sweep,
+        "refine_speedup": refine_speedup,
+        "seed_fanout": {
+            "num_seeds": len(seeds),
+            "serial_seconds": round(fanout_serial_seconds, 6),
+            "parallel_seconds": round(fanout_parallel_seconds, 6),
+            "speedup": round(fanout_speedup, 3),
+            "results_match": fanout_match,
+        },
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

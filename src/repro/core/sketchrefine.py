@@ -8,14 +8,31 @@ offline partitioning of the input relation:
   representative may be picked (at most ``|G_j| · (K + 1)`` for REPEAT K).
   The resulting *sketch package* fixes how much of the answer should come
   from each group.
-* **REFINE** — group by group, replace the chosen representatives with actual
-  tuples by solving a small ILP restricted to that group, whose constraint
-  bounds are shifted by the contribution of everything already decided (the
-  refined groups' tuples plus the other groups' representatives).  The order
-  of groups matters, so refinement uses the greedy backtracking of
-  Algorithm 2: when a group's refine query is infeasible, the failure is
-  propagated to the parent, failed groups are prioritised, and a different
-  order is tried.
+* **REFINE** — replace the chosen representatives with actual tuples, one
+  small ILP per group, each constraint's bounds shifted by the contribution
+  of everything else (the refined groups' tuples plus the other groups'
+  representatives).  The paper notes these per-group ILPs are embarrassingly
+  parallel, and this evaluator exploits that with a **round-based refine with
+  deterministic merge**: every round, the refine ILPs of *all* still-pending
+  groups are solved as one batch of independent tasks — fanned out over a
+  :class:`~repro.exec.pool.SolvePool` worker pool, or run serially through
+  the *same* task runner — against the same fixed context.  Results are then
+  merged in **ascending group-id order**: a group's solution is accepted only
+  if the mixed package (accepted groups' actual tuples + remaining groups'
+  representatives) still satisfies every global constraint; the first
+  feasible candidate in merge order always merges (its ILP enforced exactly
+  that residual), so every round with a feasible result makes progress.
+  Rejected groups are deferred and re-solved next round against the updated
+  context.  When a round produces no acceptable group (all refine ILPs
+  infeasible) the evaluator backtracks in the spirit of Algorithm 2: the
+  failed groups are prioritised to the front of the merge order and
+  refinement restarts from the sketch, until an ordering succeeds, the
+  ordering repeats, or ``max_backtracks`` is exhausted.
+
+  Because the merge rule, the warm-start snapshots and the per-task inputs
+  are all independent of *where* a task executes, a parallel refine is
+  **bit-identical** to the serial one (asserted by the serial-vs-parallel
+  sweep in ``tests/integration/test_differential.py``).
 
 When the sketch itself is infeasible, the *hybrid sketch* mitigation of
 Section 4.4 is applied (matching the experimental setup in Section 5.1): the
@@ -41,12 +58,15 @@ ignores it).
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.base_relations import compute_base_relation
+from repro.exec.pool import SolvePool, shared_pool
+from repro.exec.tasks import SolveTask, run_solve_task, solver_supports_warm_start
 from repro.core.package import Package
 from repro.core.translator import (
     LinearConstraintRow,
@@ -75,10 +95,18 @@ class SketchRefineConfig:
     """Apply the Section 4.4 hybrid-sketch fallback when the sketch is infeasible."""
 
     refine_order_seed: int = 0
-    """Seed for the (initially arbitrary) group refinement order of Algorithm 2."""
+    """Seed for the (arbitrary) group order the hybrid-sketch fallback tries.
+    The refine merge order itself is fixed — ascending group id — so that
+    parallel and serial refinement are bit-identical."""
 
     max_backtracks: int = 1000
-    """Safety cap on the number of backtracking steps before giving up."""
+    """Safety cap on the number of backtracking restarts before giving up."""
+
+    workers: int | None = None
+    """Worker processes for the parallel refine batches.  ``None`` defers to
+    the ``REPRO_WORKERS`` environment variable (default 1 = serial); any
+    value ``<= 1`` keeps every solve in-process.  Output is bit-identical
+    across worker counts."""
 
 
 @dataclass
@@ -101,8 +129,26 @@ class SketchRefineStats:
     solver_warm_start_hits: int = 0
     """LP solves that reoptimised from a parent basis (SIMPLEX backend only)."""
     refine_retry_warm_starts: int = 0
-    """Refine solves seeded with a cached basis from an earlier retry of the
+    """Refine solves seeded with a cached basis from an earlier solve of the
     same group (requires a SIMPLEX-backend :class:`BranchAndBoundSolver`)."""
+    refine_rounds: int = 0
+    """Batched refine rounds executed (each solves every then-pending group)."""
+    merge_deferrals: int = 0
+    """Refine solutions rejected by the deterministic merge check and
+    re-solved in a later round against the updated context."""
+    refine_workers: int = 1
+    """Effective worker count of the solve pool this evaluation used."""
+    refine_parallel_tasks: int = 0
+    """Refine solves actually executed in worker processes (0 = all serial)."""
+    pool_wall_ms: float = 0.0
+    """Wall-clock milliseconds spent executing refine solve batches."""
+    merge_wait_ms: float = 0.0
+    """Coordination overhead of parallel batches: wall time beyond the
+    slowest task of each batch (pickling, IPC, scheduling).  0 when serial."""
+    child_solve_ms: float = 0.0
+    """Solve milliseconds summed over all refine tasks, measured inside the
+    executing process — the true compute time, as opposed to the overlapped
+    wall time (``pool_wall_ms``)."""
     vars_fixed: int = 0
     """Columns eliminated by root presolve, summed over sketch + refine solves."""
     rows_removed: int = 0
@@ -140,26 +186,51 @@ class _Linearisation:
 class SketchRefineEvaluator:
     """Scalable approximate package evaluation over an offline partitioning."""
 
-    def __init__(self, solver=None, config: SketchRefineConfig | None = None):
+    def __init__(
+        self,
+        solver=None,
+        config: SketchRefineConfig | None = None,
+        pool: SolvePool | None = None,
+    ):
         """Args:
             solver: Black-box ILP solver (``solve(IlpModel) -> Solution``);
                 defaults to :class:`BranchAndBoundSolver`.
             config: Optional tuning knobs.
+            pool: Solve pool for the refine batches; ``None`` uses the
+                process-wide :func:`~repro.exec.pool.shared_pool` for
+                ``config.workers``.
         """
         self.solver = solver or BranchAndBoundSolver()
         self.config = config or SketchRefineConfig()
         self.last_stats = SketchRefineStats()
-        # Last optimal root basis per refine group, reused as a warm start when
-        # backtracking retries the same group (the retry differs only in its
-        # residual right-hand sides, so the basis stays structurally valid).
+        self._pool = pool
+        # Whether the solver can be shipped to worker processes (pickled);
+        # probed once on first parallel batch.
+        self._solver_shippable: bool | None = None
+        # Last optimal root basis per refine group, reused as a warm start
+        # when a later round (or a backtracking restart) re-solves the same
+        # group: the retry differs only in its residual right-hand sides, so
+        # the basis stays structurally valid.
         self._refine_basis: dict[int, object] = {}
 
     # -- public API -----------------------------------------------------------------------
 
     def evaluate(
-        self, table: Table, query: PackageQuery, partitioning: Partitioning
+        self,
+        table: Table,
+        query: PackageQuery,
+        partitioning: Partitioning,
+        workers: int | None = None,
     ) -> Package:
         """Return an approximately-optimal package for ``query`` over ``table``.
+
+        Args:
+            table: The source relation.
+            query: The package query.
+            partitioning: Offline partitioning of ``table``.
+            workers: Per-call override of the refine worker count (``None``
+                defers to ``config.workers`` / the injected pool).  The
+                answer is bit-identical for every worker count.
 
         Raises:
             InfeasiblePackageQueryError: If no feasible package was found.
@@ -171,11 +242,13 @@ class SketchRefineEvaluator:
             raise EvaluationError(
                 "the partitioning was built for a different table instance"
             )
+        pool = self._refine_pool(workers)
         start = time.perf_counter()
         stats = SketchRefineStats(
             num_groups=partitioning.num_groups,
             partitioning_version=partitioning.version,
             partitioning_maintenance=partitioning.maintenance.as_dict(),
+            refine_workers=pool.workers,
         )
         self.last_stats = stats
         self._refine_basis = {}
@@ -200,8 +273,8 @@ class SketchRefineEvaluator:
         # ---- REFINE ----
         refine_start = time.perf_counter()
         assignments = self._refine_root(
-            table, query, linearisation, group_info, group_means,
-            sketch_multiplicities, initial_assignments, stats,
+            query, linearisation, group_info, group_means,
+            sketch_multiplicities, initial_assignments, stats, pool,
         )
         stats.refine_seconds = time.perf_counter() - refine_start
         stats.total_seconds = time.perf_counter() - start
@@ -211,6 +284,19 @@ class SketchRefineEvaluator:
             for row, multiplicity in group_assignment.items():
                 combined[row] = combined.get(row, 0) + multiplicity
         return Package.from_multiplicity_map(table, combined)
+
+    def _refine_pool(self, workers: int | None) -> SolvePool:
+        """Resolve the solve pool for one evaluation.
+
+        Precedence: explicit per-call ``workers`` override, then the pool
+        injected at construction, then the process-wide shared pool for
+        ``config.workers`` (which itself defers to ``REPRO_WORKERS``).
+        """
+        if workers is not None:
+            return shared_pool(workers)
+        if self._pool is not None:
+            return self._pool
+        return shared_pool(self.config.workers)
 
     # -- linearisation ------------------------------------------------------------------------
 
@@ -416,15 +502,7 @@ class SketchRefineEvaluator:
 
     def _absorb_solver_stats(self, solution) -> None:
         """Fold one ILP solve's solver statistics into the running totals."""
-        stats = getattr(solution, "stats", None)
-        if stats is None:
-            return
-        self.last_stats.solver_lp_solves += stats.lp_solves
-        self.last_stats.solver_simplex_iterations += stats.simplex_iterations
-        self.last_stats.solver_warm_start_hits += stats.warm_start_hits
-        self.last_stats.vars_fixed += getattr(stats, "vars_fixed", 0)
-        self.last_stats.rows_removed += getattr(stats, "rows_removed", 0)
-        self.last_stats.presolve_ms += getattr(stats, "presolve_ms", 0.0)
+        self._absorb_task_stats(getattr(solution, "stats", None))
 
     def _solve_with_group_basis(self, gid: int, model, stats: SketchRefineStats):
         """Solve a refine ILP, reusing the group's basis across retries.
@@ -465,7 +543,6 @@ class SketchRefineEvaluator:
 
     def _refine_root(
         self,
-        table: Table,
         query: PackageQuery,
         linearisation: _Linearisation,
         group_info: dict[int, np.ndarray],
@@ -473,26 +550,69 @@ class SketchRefineEvaluator:
         sketch_multiplicities: dict[int, int],
         initial_assignments: dict[int, dict[int, int]],
         stats: SketchRefineStats,
+        pool: SolvePool,
     ) -> dict[int, dict[int, int]]:
-        pending = [gid for gid, count in sketch_multiplicities.items() if count > 0]
-        rng = np.random.default_rng(self.config.refine_order_seed)
-        rng.shuffle(pending)
+        """Round-based refinement with deterministic merge (see module docstring).
 
-        success, result = self._refine(
-            table, query, linearisation, group_info, group_means,
-            sketch_multiplicities, dict(initial_assignments), pending,
-            is_root=True, stats=stats,
+        Each round solves the refine ILPs of every still-pending group as one
+        batch of independent tasks against the same fixed context, then merges
+        the results in ascending group-id order (prioritised groups first
+        after a backtracking restart), accepting a solution only while the
+        mixed package stays feasible.  A round in which nothing merges —
+        every pending refine ILP came back infeasible — is a dead end:
+        refinement restarts from the sketch with the failed groups promoted
+        to the front of the merge order, Algorithm 2's greedy backtracking
+        recast as a restart.  Orderings never repeat (the ``tried`` set), so
+        the loop terminates even without the ``max_backtracks`` cap.
+        """
+        base_pending = sorted(
+            gid
+            for gid, count in sketch_multiplicities.items()
+            if count > 0 and gid not in initial_assignments
         )
-        if not success:
-            raise InfeasiblePackageQueryError(
-                "refinement failed for every group ordering",
-                false_negative_possible=True,
-            )
-        return result
+        if not base_pending:
+            return dict(initial_assignments)
 
-    def _refine(
+        priority: tuple[int, ...] = ()
+        tried: set[tuple[int, ...]] = set()
+        while True:
+            tried.add(priority)
+            assignments = dict(initial_assignments)
+            pending = list(base_pending)
+            dead_end: list[int] | None = None
+            while pending:
+                stats.refine_rounds += 1
+                prioritised = set(priority)
+                order = [g for g in priority if g in pending] + [
+                    g for g in pending if g not in prioritised
+                ]
+                results = self._solve_refine_batch(
+                    query, linearisation, group_info, group_means,
+                    sketch_multiplicities, assignments, pending, order, stats, pool,
+                )
+                accepted, infeasible = self._merge_round(
+                    order, results, linearisation, group_info, group_means,
+                    sketch_multiplicities, assignments, pending, stats,
+                )
+                if not accepted:
+                    dead_end = infeasible
+                    break
+                pending = [g for g in pending if g not in assignments]
+            if dead_end is None:
+                return assignments
+            stats.backtracks += 1
+            next_priority = tuple(sorted(dead_end)) + tuple(
+                g for g in priority if g not in dead_end
+            )
+            if stats.backtracks > self.config.max_backtracks or next_priority in tried:
+                raise InfeasiblePackageQueryError(
+                    "refinement failed for every group ordering",
+                    false_negative_possible=True,
+                )
+            priority = next_priority
+
+    def _solve_refine_batch(
         self,
-        table: Table,
         query: PackageQuery,
         linearisation: _Linearisation,
         group_info: dict[int, np.ndarray],
@@ -500,65 +620,65 @@ class SketchRefineEvaluator:
         sketch_multiplicities: dict[int, int],
         assignments: dict[int, dict[int, int]],
         pending: list[int],
-        is_root: bool,
+        order: list[int],
         stats: SketchRefineStats,
-    ) -> tuple[bool, dict[int, dict[int, int]] | set[int]]:
-        """Algorithm 2: greedy backtracking refinement.
+        pool: SolvePool,
+    ) -> dict[int, "object"]:
+        """Solve every pending group's refine ILP as one batch of tasks.
 
-        Returns ``(True, assignments)`` on success or ``(False, failed groups)``
-        on failure of every ordering attempted at this level.
+        The tasks are built — models, warm-basis snapshots, per-task RNG
+        seeds — *before* any of them runs, so each is a pure function of the
+        shared round context and the batch can execute anywhere: fanned out
+        over the pool's worker processes, or serially through the very same
+        :func:`run_solve_task`.  Results are post-processed (stats folded in,
+        warm bases cached) in ascending group-id order either way.
         """
-        if not pending:
-            return True, assignments
-
-        failed: set[int] = set()
-        queue = list(pending)
-        attempted: set[int] = set()
-
-        while queue:
-            gid = queue.pop(0)
-            if gid in attempted:
-                continue
-            attempted.add(gid)
-
-            group_solution = self._solve_refine_query(
-                table, query, linearisation, group_info, group_means,
-                sketch_multiplicities, assignments, pending, gid, stats,
+        attach_basis = solver_supports_warm_start(self.solver)
+        tasks: list[SolveTask] = []
+        for gid in order:
+            model = self._build_refine_model(
+                query, linearisation, group_info, group_means,
+                sketch_multiplicities, assignments, pending, gid,
             )
-            if group_solution is None:
-                # Q[G_j] infeasible.
-                failed.add(gid)
-                if not is_root:
-                    # Greedily backtrack with the non-refinable group.
-                    return False, failed
-                continue
-
-            next_assignments = dict(assignments)
-            next_assignments[gid] = group_solution
-            next_pending = [g for g in pending if g != gid]
-            success, result = self._refine(
-                table, query, linearisation, group_info, group_means,
-                sketch_multiplicities, next_assignments, next_pending,
-                is_root=False, stats=stats,
+            basis = self._refine_basis.get(gid) if attach_basis else None
+            if basis is not None:
+                stats.refine_retry_warm_starts += 1
+            tasks.append(
+                SolveTask(
+                    task_id=gid,
+                    model=model,
+                    solver=self.solver,
+                    warm_basis=basis,
+                    rng_seed=int(gid),
+                )
             )
-            if success:
-                return True, result
+        stats.refine_queries += len(tasks)
 
-            # The recursion failed: prioritise its failed groups and retry.
-            stats.backtracks += 1
-            if stats.backtracks > self.config.max_backtracks:
-                return False, failed | set(result)
-            failed |= set(result)
-            remaining = [g for g in queue if g not in attempted]
-            prioritised = [g for g in remaining if g in result]
-            others = [g for g in remaining if g not in result]
-            queue = prioritised + others
+        run_parallel = pool.is_parallel and len(tasks) > 1 and self._can_ship_solver()
+        batch_start = time.perf_counter()
+        if run_parallel:
+            results = pool.map(run_solve_task, tasks)
+            stats.refine_parallel_tasks += len(tasks)
+        else:
+            results = [run_solve_task(task) for task in tasks]
+        batch_wall = time.perf_counter() - batch_start
 
-        return False, failed
+        stats.pool_wall_ms += batch_wall * 1000.0
+        child_seconds = [result.solve_seconds for result in results]
+        stats.child_solve_ms += sum(child_seconds) * 1000.0
+        if run_parallel and child_seconds:
+            stats.merge_wait_ms += max(0.0, batch_wall - max(child_seconds)) * 1000.0
 
-    def _solve_refine_query(
+        by_gid = {result.task_id: result for result in results}
+        for gid in sorted(by_gid):
+            result = by_gid[gid]
+            self._absorb_task_stats(result.stats)
+            if result.root_basis is not None:
+                self._refine_basis[gid] = result.root_basis
+        return by_gid
+
+    def _build_refine_model(
         self,
-        table: Table,
         query: PackageQuery,
         linearisation: _Linearisation,
         group_info: dict[int, np.ndarray],
@@ -567,10 +687,8 @@ class SketchRefineEvaluator:
         assignments: dict[int, dict[int, int]],
         pending: list[int],
         gid: int,
-        stats: SketchRefineStats,
-    ) -> dict[int, int] | None:
-        """Solve Q[G_j]: pick real tuples for group ``gid`` given everything else fixed."""
-        stats.refine_queries += 1
+    ) -> IlpModel:
+        """Build Q[G_j]: pick real tuples for group ``gid`` given everything else fixed."""
         rows = group_info[gid]
         per_tuple_cap = query.max_multiplicity
 
@@ -580,11 +698,7 @@ class SketchRefineEvaluator:
         for other_gid, assignment in assignments.items():
             if other_gid == gid or not assignment:
                 continue
-            fixed_rows = np.fromiter(assignment.keys(), dtype=np.int64, count=len(assignment))
-            multiplicities = np.fromiter(
-                assignment.values(), dtype=np.float64, count=len(assignment)
-            )
-            fixed_constraint += linearisation.constraint_matrix[:, fixed_rows] @ multiplicities
+            fixed_constraint += self._assignment_contribution(linearisation, assignment)
         for other_gid in pending:
             if other_gid == gid or other_gid in assignments:
                 continue
@@ -616,22 +730,133 @@ class SketchRefineEvaluator:
         model.set_objective_arrays(
             linearisation.objective_sense, positions[nonzero], objective_values[nonzero]
         )
+        return model
 
-        solution = self._solve_with_group_basis(gid, model, stats)
-        self._absorb_solver_stats(solution)
-        if solution.status is SolverStatus.INFEASIBLE:
-            return None
-        if solution.status is SolverStatus.CAPACITY_EXCEEDED:
-            raise SolverCapacityError(
-                f"refine problem for group {gid} exceeds solver capacity"
+    def _merge_round(
+        self,
+        order: list[int],
+        results: dict[int, "object"],
+        linearisation: _Linearisation,
+        group_info: dict[int, np.ndarray],
+        group_means: dict[str, dict[int, np.ndarray]],
+        sketch_multiplicities: dict[int, int],
+        assignments: dict[int, dict[int, int]],
+        pending: list[int],
+        stats: SketchRefineStats,
+    ) -> tuple[list[int], list[int]]:
+        """Deterministically merge one round's solutions into ``assignments``.
+
+        Walks ``order`` (ascending group id, prioritised groups first) and
+        accepts each group's solution only if the mixed package — accepted
+        groups' actual tuples plus the remaining groups' representatives —
+        still satisfies every global constraint.  The first feasible candidate
+        always merges: its ILP enforced exactly the residual of the unchanged
+        round context, so a round makes progress whenever any pending group
+        is refinable.  Rejected groups are deferred to the next round.
+
+        Returns ``(accepted group ids, infeasible group ids)``; mutates
+        ``assignments`` in place.
+        """
+        # Constraint-row totals of the current mix: every assignment's actual
+        # tuples plus every unassigned pending group's representatives.
+        mix = np.zeros(linearisation.num_constraints)
+        for assignment in assignments.values():
+            mix += self._assignment_contribution(linearisation, assignment)
+        for gid in pending:
+            mix += sketch_multiplicities[gid] * group_means["constraints"][gid]
+
+        accepted: list[int] = []
+        infeasible: list[int] = []
+        for gid in order:
+            result = results[gid]
+            if result.status is SolverStatus.INFEASIBLE:
+                infeasible.append(gid)
+                continue
+            if result.status is SolverStatus.CAPACITY_EXCEEDED:
+                raise SolverCapacityError(
+                    f"refine problem for group {gid} exceeds solver capacity"
+                )
+            if not result.has_solution:
+                raise EvaluationError(
+                    f"refine solve for group {gid} failed with status {result.status.value}"
+                )
+            values = np.rint(result.values).astype(np.int64)
+            assignment = {
+                int(row): int(values[position])
+                for position, row in enumerate(group_info[gid])
+                if values[position] > 0
+            }
+            candidate = (
+                mix
+                - sketch_multiplicities[gid] * group_means["constraints"][gid]
+                + self._assignment_contribution(linearisation, assignment)
             )
-        if not solution.has_solution:
-            raise EvaluationError(
-                f"refine solve for group {gid} failed with status {solution.status.value}"
-            )
-        values = solution.integral_values()
-        return {
-            int(row): int(values[position])
-            for position, row in enumerate(rows)
-            if values[position] > 0
-        }
+            if accepted and not self._mix_feasible(linearisation, candidate):
+                stats.merge_deferrals += 1
+                continue
+            mix = candidate
+            assignments[gid] = assignment
+            accepted.append(gid)
+        return accepted, infeasible
+
+    @staticmethod
+    def _assignment_contribution(
+        linearisation: _Linearisation, assignment: dict[int, int]
+    ) -> np.ndarray:
+        """Constraint-row totals contributed by one group's tuple assignment."""
+        if not assignment:
+            return np.zeros(linearisation.num_constraints)
+        rows = np.fromiter(assignment.keys(), dtype=np.int64, count=len(assignment))
+        multiplicities = np.fromiter(
+            assignment.values(), dtype=np.float64, count=len(assignment)
+        )
+        return linearisation.constraint_matrix[:, rows] @ multiplicities
+
+    @staticmethod
+    def _mix_feasible(
+        linearisation: _Linearisation, mix: np.ndarray, tolerance: float = 1e-6
+    ) -> bool:
+        """Whether the mixed package satisfies every global constraint.
+
+        Uses a relative tolerance so legitimate solver-precision noise on
+        large right-hand sides is not mistaken for a violation.
+        """
+        for row_number, constraint_row in enumerate(linearisation.constraint_rows):
+            value = float(mix[row_number])
+            rhs = constraint_row.rhs
+            slack = tolerance * max(1.0, abs(rhs))
+            if constraint_row.sense is ConstraintSense.LE:
+                if value > rhs + slack:
+                    return False
+            elif constraint_row.sense is ConstraintSense.GE:
+                if value < rhs - slack:
+                    return False
+            else:
+                if abs(value - rhs) > slack:
+                    return False
+        return True
+
+    def _can_ship_solver(self) -> bool:
+        """Whether the configured solver can be pickled into worker processes.
+
+        Probed once per evaluator; a non-picklable black-box solver silently
+        degrades the refine batches to the (bit-identical) serial path.
+        """
+        if self._solver_shippable is None:
+            try:
+                pickle.dumps(self.solver)
+                self._solver_shippable = True
+            except Exception:
+                self._solver_shippable = False
+        return self._solver_shippable
+
+    def _absorb_task_stats(self, stats_obj) -> None:
+        """Fold one solve task's solver statistics into the running totals."""
+        if stats_obj is None:
+            return
+        self.last_stats.solver_lp_solves += stats_obj.lp_solves
+        self.last_stats.solver_simplex_iterations += stats_obj.simplex_iterations
+        self.last_stats.solver_warm_start_hits += stats_obj.warm_start_hits
+        self.last_stats.vars_fixed += getattr(stats_obj, "vars_fixed", 0)
+        self.last_stats.rows_removed += getattr(stats_obj, "rows_removed", 0)
+        self.last_stats.presolve_ms += getattr(stats_obj, "presolve_ms", 0.0)

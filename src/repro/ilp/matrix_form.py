@@ -94,6 +94,24 @@ class MatrixForm:
     maximize: bool
     cache: dict = field(default_factory=dict, repr=False, compare=False)
 
+    # -- pickling ---------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Ship the form without its per-process working caches.
+
+        The ``cache`` dict holds the simplex's assembled working matrix and
+        the LP presolve memo — derived, process-local state that would bloat
+        the pickle and, worse, alias one process's scratch objects into
+        another.  Workers rebuild them on first use.
+        """
+        state = self.__dict__.copy()
+        state["cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.cache = {}
+
     # -- storage introspection ---------------------------------------------------
 
     @property

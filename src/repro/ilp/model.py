@@ -340,6 +340,26 @@ class IlpModel:
         self.objective = Objective(sense, None, indices=indices, values=values)
         self._invalidate()
 
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Ship the model without its memoized matrix export.
+
+        The cached :class:`MatrixForm` (and its form-level working caches)
+        is derived, process-local state; a worker that unpickles the model
+        re-exports it on demand.  Dropping it keeps solve-task payloads lean
+        and guarantees no scratch objects are shared across processes.
+        """
+        state = self.__dict__.copy()
+        state["_matrix_cache"] = {}
+        state["_variable_arrays"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._matrix_cache = {}
+        self._variable_arrays = None
+
     # -- introspection -----------------------------------------------------------
 
     @property

@@ -269,6 +269,24 @@ class Postsolve:
         default=None, repr=False, compare=False
     )
 
+    # -- pickling -----------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Ship the record without its lazily-built per-node row views.
+
+        ``_node_rows`` caches triplet/activity scratch arrays for node-bound
+        propagation; it is derived state, rebuilt on first use in the
+        receiving process (the reduced form's own caches are dropped by
+        :meth:`MatrixForm.__getstate__`).
+        """
+        state = self.__dict__.copy()
+        state["_node_rows"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._node_rows = None
+
     # -- solutions ----------------------------------------------------------------
 
     @property

@@ -113,6 +113,37 @@ class TestBasicBehaviour:
         assert stats.refine_queries >= stats.groups_in_sketch
         assert stats.total_seconds >= stats.sketch_seconds
 
+    def test_parallel_plane_stats_recorded(self, recipes_with_partitioning, fast_solver):
+        table, partitioning = recipes_with_partitioning
+        evaluator = SketchRefineEvaluator(solver=fast_solver)
+        # Pin workers=1 so the serial invariants hold regardless of any
+        # REPRO_WORKERS value the surrounding run exports.
+        evaluator.evaluate(table, meal_planner_query(), partitioning, workers=1)
+        stats = evaluator.last_stats
+        assert stats.refine_workers == 1
+        assert stats.refine_parallel_tasks == 0  # explicit serial
+        assert stats.refine_rounds >= 1
+        assert stats.pool_wall_ms > 0.0
+        assert stats.child_solve_ms > 0.0
+        assert stats.merge_wait_ms == 0.0  # serial batches have no wait gap
+
+    def test_parallel_workers_give_identical_package_and_search_shape(
+        self, recipes_with_partitioning, fast_solver
+    ):
+        table, partitioning = recipes_with_partitioning
+        query = meal_planner_query()
+        serial = SketchRefineEvaluator(solver=fast_solver)
+        serial_package = serial.evaluate(table, query, partitioning, workers=1)
+        parallel = SketchRefineEvaluator(solver=fast_solver)
+        parallel_package = parallel.evaluate(table, query, partitioning, workers=2)
+        assert serial_package.same_contents(parallel_package)
+        for field in (
+            "refine_queries", "refine_rounds", "merge_deferrals",
+            "backtracks", "groups_in_sketch", "used_hybrid_sketch",
+        ):
+            assert getattr(serial.last_stats, field) == getattr(parallel.last_stats, field)
+        assert parallel.last_stats.refine_workers == 2
+
 
 class TestInfeasibilityHandling:
     def test_truly_infeasible_query(self, recipes_with_partitioning, fast_solver):

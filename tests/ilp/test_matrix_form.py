@@ -2,9 +2,13 @@
 
 Covers sparse/dense storage parity (same matrices, same solve results through
 both backends), the zero-copy structural sharing branch-and-bound relies on,
-the O(1)/array fast paths on the model, and the root-basis warm-start handoff
-used by SKETCHREFINE's backtracking retries.
+the O(1)/array fast paths on the model, the root-basis warm-start handoff
+used by SKETCHREFINE's backtracking retries, and the pickling contract the
+parallel solve plane relies on (per-process caches dropped, everything else
+round-tripping bit-exactly).
 """
+
+import pickle
 
 import numpy as np
 import pytest
@@ -267,3 +271,131 @@ class TestRootBasisHandoff:
         solution = BranchAndBoundSolver(lp_backend=LpBackend.HIGHS).solve(self._model())
         assert solution.status is SolverStatus.OPTIMAL
         assert solution.root_basis is None
+
+
+class TestPickling:
+    """The pickling contract of the parallel solve plane.
+
+    Forms, postsolve records, bases and models cross the process boundary
+    when refine ILPs fan out to workers: derived per-process caches must be
+    dropped (never aliased between processes), everything else must
+    round-trip bit-exactly, and a re-solve of the round-tripped object must
+    agree with the original.
+    """
+
+    def _model(self, num_vars=8):
+        rng = np.random.default_rng(11)
+        model = IlpModel("pickled")
+        weights = rng.integers(1, 9, num_vars).astype(float)
+        gains = rng.integers(1, 15, num_vars).astype(float)
+        for i in range(num_vars):
+            model.add_variable(f"x{i}", 0, 2)
+        model.add_constraint(
+            {i: w for i, w in enumerate(weights)}, ConstraintSense.LE, weights.sum() * 0.5
+        )
+        model.add_constraint({0: 1.0, num_vars - 1: 1.0}, ConstraintSense.GE, 1)
+        model.set_objective(ObjectiveSense.MAXIMIZE, {i: g for i, g in enumerate(gains)})
+        return model
+
+    def _assert_matrix_equal(self, left, right):
+        if sp.issparse(left):
+            assert sp.issparse(right)
+            np.testing.assert_array_equal(left.toarray(), right.toarray())
+        else:
+            np.testing.assert_array_equal(left, right)
+
+    @pytest.mark.parametrize("sparse", [True, False])
+    def test_matrix_form_round_trips_without_its_cache(self, sparse):
+        model = self._model()
+        model.sparse_matrix = sparse
+        form = model.to_matrix()
+        # Populate the per-process caches with a real solve before pickling.
+        result = solve_lp_form(form, LpBackend.SIMPLEX)
+        assert result.status is SolverStatus.OPTIMAL
+        assert form.cache, "expected the solve to populate the working cache"
+
+        clone = pickle.loads(pickle.dumps(form))
+        assert clone.cache == {}
+        assert form.cache, "pickling must not clear the original's cache"
+        assert clone.is_sparse is form.is_sparse
+        assert clone.maximize is form.maximize
+        self._assert_matrix_equal(form.a_ub, clone.a_ub)
+        self._assert_matrix_equal(form.a_eq, clone.a_eq)
+        np.testing.assert_array_equal(form.c, clone.c)
+        np.testing.assert_array_equal(form.b_ub, clone.b_ub)
+        np.testing.assert_array_equal(form.b_eq, clone.b_eq)
+
+        # The round-tripped form solves to the same optimum (rebuilding its
+        # own working matrix from scratch).
+        again = solve_lp_form(clone, LpBackend.SIMPLEX)
+        assert again.status is SolverStatus.OPTIMAL
+        assert again.objective_value == pytest.approx(result.objective_value)
+
+    def test_postsolve_round_trips_and_restores_identically(self):
+        from repro.ilp.presolve import presolve_form
+
+        model = self._model()
+        # Fix a variable so presolve genuinely reduces and the postsolve
+        # record is non-trivial.
+        model.variables[3].lower = 2.0
+        form = model.to_matrix()
+        integer_mask = np.ones(form.num_variables, dtype=bool)
+        result = presolve_form(form, integer_mask)
+        assert result.feasible and result.postsolve is not None
+        postsolve = result.postsolve
+
+        # Populate the lazy node-row cache, then check it is dropped.
+        lower, upper = form.bound_arrays()
+        postsolve.reduce_bounds(lower, upper)
+        clone = pickle.loads(pickle.dumps(postsolve))
+        assert clone._node_rows is None
+
+        x_reduced = np.zeros(clone.num_reduced_vars)
+        np.testing.assert_array_equal(postsolve.restore(x_reduced), clone.restore(x_reduced))
+        reduced_l, reduced_u = postsolve.reduce_bounds(lower, upper)
+        clone_l, clone_u = clone.reduce_bounds(lower, upper)
+        np.testing.assert_array_equal(reduced_l, clone_l)
+        np.testing.assert_array_equal(reduced_u, clone_u)
+
+    def test_simplex_basis_round_trips(self):
+        solver = BranchAndBoundSolver(
+            limits=SolverLimits(relative_gap=1e-9), lp_backend=LpBackend.SIMPLEX
+        )
+        solution = solver.solve(self._model())
+        basis = solution.root_basis
+        assert basis is not None
+        clone = pickle.loads(pickle.dumps(basis))
+        np.testing.assert_array_equal(basis.basic, clone.basic)
+        np.testing.assert_array_equal(basis.status, clone.status)
+        assert clone.matches(basis.num_structural, basis.num_ub, basis.num_eq)
+
+        # A warm start from the round-tripped basis behaves like the original.
+        retry = self._model()
+        retry.constraints[0].rhs *= 0.9
+        warm = solver.solve(retry, warm_start=WarmStart(basis=clone))
+        cold = solver.solve(retry.copy())
+        assert warm.status is cold.status
+        assert warm.objective_value == pytest.approx(cold.objective_value)
+
+    def test_ilp_model_round_trips_without_memo_caches(self):
+        model = self._model()
+        form = model.to_matrix()  # populate the model-level memo cache
+        assert model._matrix_cache
+
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone._matrix_cache == {}
+        assert clone._variable_arrays is None
+        clone_form = clone.to_matrix()
+        self._assert_matrix_equal(form.a_ub, clone_form.a_ub)
+        self._assert_matrix_equal(form.a_eq, clone_form.a_eq)
+        np.testing.assert_array_equal(form.c, clone_form.c)
+        np.testing.assert_array_equal(form.b_ub, clone_form.b_ub)
+        np.testing.assert_array_equal(form.b_eq, clone_form.b_eq)
+        assert clone_form.bounds == form.bounds
+
+        limits = SolverLimits(relative_gap=1e-9)
+        original = BranchAndBoundSolver(limits=limits, lp_backend=LpBackend.SIMPLEX).solve(model)
+        shipped = BranchAndBoundSolver(limits=limits, lp_backend=LpBackend.SIMPLEX).solve(clone)
+        assert original.status is shipped.status
+        np.testing.assert_array_equal(original.values, shipped.values)
+        assert original.objective_value == shipped.objective_value

@@ -138,6 +138,75 @@ def _check_instance(engine: PackageQueryEngine, query, seed: int, phase: str) ->
         )
 
 
+#: Seeds for the serial-vs-parallel sweep (a strided subset of the full
+#: differential population — each instance is re-evaluated at three worker
+#: counts, so the sweep is deliberately smaller).
+PARALLEL_SWEEP_SEEDS = tuple(range(0, NUM_INSTANCES, 5))
+
+#: Worker counts the sweep compares; 1 is the serial reference.
+PARALLEL_SWEEP_WORKERS = (1, 2, 4)
+
+
+def _sketchrefine_outcome(engine: PackageQueryEngine, query):
+    """SKETCHREFINE's full observable outcome for one evaluation.
+
+    Captures everything the determinism contract covers: the exact package
+    (row → multiplicity), the exact objective, the search-shape statistics,
+    or — on infeasibility — the exception's identity-relevant fields.
+    """
+    try:
+        result = engine.execute(query, method="sketchrefine", cache="bypass")
+    except InfeasiblePackageQueryError as exc:
+        return ("infeasible", str(exc), exc.false_negative_possible)
+    stats = engine._sketchrefine.last_stats
+    package = tuple(sorted(result.package.as_multiplicity_map().items()))
+    return (
+        "package",
+        package,
+        result.objective,
+        stats.refine_queries,
+        stats.refine_rounds,
+        stats.merge_deferrals,
+        stats.backtracks,
+        stats.groups_in_sketch,
+        stats.used_hybrid_sketch,
+    )
+
+
+@pytest.mark.parametrize("seed", PARALLEL_SWEEP_SEEDS)
+def test_serial_parallel_equivalence(seed: int):
+    """Parallel refine is bit-identical to serial at every worker count.
+
+    For each seeded instance the same query runs through SKETCHREFINE with
+    1, 2 and 4 workers: identical packages, identical objectives, identical
+    search shape (rounds, merge deferrals, backtracks) — or identical
+    infeasibility verdicts — are required, before and after a table delta.
+    """
+    rng = np.random.default_rng(1_000_003 * (seed + 1))
+    table = _random_table(rng)
+    query = _random_query(rng, table)
+    insert, delete = _random_delta(np.random.default_rng(seed + 77), table)
+
+    outcomes: dict[int, list] = {}
+    for workers in PARALLEL_SWEEP_WORKERS:
+        engine = PackageQueryEngine(workers=workers)
+        engine.register_table(table, name="diff")
+        engine.build_partitioning("diff", ["a", "b"], size_threshold=4)
+        phases = [_sketchrefine_outcome(engine, query)]
+        engine.update_table("diff", insert=insert, delete=delete)
+        phases.append(_sketchrefine_outcome(engine, query))
+        outcomes[workers] = phases
+
+    reference = outcomes[PARALLEL_SWEEP_WORKERS[0]]
+    for workers in PARALLEL_SWEEP_WORKERS[1:]:
+        assert outcomes[workers] == reference, (
+            f"[seed={seed}] SKETCHREFINE outcome diverged at workers={workers}:\n"
+            f"serial:   {reference}\n"
+            f"parallel: {outcomes[workers]}\n"
+            f"{format_paql(query)}"
+        )
+
+
 @pytest.mark.parametrize("seed", range(NUM_INSTANCES))
 def test_differential(seed: int):
     rng = np.random.default_rng(1_000_003 * (seed + 1))
