@@ -1,0 +1,119 @@
+"""CLI entry point: ``python -m repro.analysis [paths...] [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.core import all_checkers
+from repro.analysis.runner import run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "repro-lint: AST-based checks of the repo's determinism, "
+            "picklability and tolerance invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        help="JSON config file ({'rules': [...], 'options': {rule: {...}}})",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help="baseline file (default: repro-lint-baseline.json found near "
+        "the first lint root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit; "
+        "justifications start as TODOs that must be filled in",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print baselined findings in text output",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name, cls in sorted(all_checkers().items()):
+            print(f"{name}: {cls.description}")
+        return 0
+
+    if args.config is not None:
+        config = LintConfig.from_file(args.config)
+    else:
+        config = LintConfig()
+    if args.rules:
+        config.rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    if args.baseline is not None:
+        config.baseline_path = args.baseline
+    if args.no_baseline:
+        config.use_baseline = False
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        config.use_baseline = False
+        report = run_lint(paths, config)
+        target = args.baseline or Path("repro-lint-baseline.json")
+        Baseline.from_findings(report.findings, path=target).save()
+        print(
+            f"wrote {len(report.findings)} entr{'y' if len(report.findings) == 1 else 'ies'} "
+            f"to {target} — fill in the justifications before committing"
+        )
+        return 0
+
+    report = run_lint(paths, config)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

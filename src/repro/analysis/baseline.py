@@ -1,0 +1,123 @@
+"""The committed-baseline mechanism.
+
+A baseline file grandfathers *justified* pre-existing findings so the lint
+can gate CI from day one without a flag-day cleanup.  Entries match findings
+by :meth:`~repro.analysis.core.Finding.fingerprint` — rule, path, enclosing
+symbol and message, but **not** line number — so they survive unrelated edits
+to the file.  Every entry carries a human-written ``justification``; an empty
+one is itself reported, which keeps the baseline honest.
+
+Entries that no longer match any finding are reported as *stale* so the
+baseline shrinks as violations are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, looked up relative to the lint root.
+DEFAULT_BASELINE_NAME = "repro-lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    symbol: str
+    message: str
+    justification: str = ""
+
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.symbol}::{self.message}"
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline file."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls(entries=[], path=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                symbol=str(raw.get("symbol", "<module>")),
+                message=str(raw["message"]),
+                justification=str(raw.get("justification", "")),
+            )
+            for raw in data.get("entries", [])
+        ]
+        return cls(entries=entries, path=path)
+
+    def save(self, path: Path | None = None) -> None:
+        target = path if path is not None else self.path
+        if target is None:
+            raise ValueError("baseline has no path to save to")
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [e.as_dict() for e in sorted(
+                self.entries, key=lambda e: (e.path, e.rule, e.symbol, e.message)
+            )],
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], path: Path | None = None) -> "Baseline":
+        """Build a baseline grandfathering ``findings`` (empty justifications:
+        fill them in before committing)."""
+        entries = [
+            BaselineEntry(
+                rule=f.rule, path=f.path, symbol=f.symbol, message=f.message,
+                justification="TODO: justify or fix",
+            )
+            for f in findings
+        ]
+        return cls(entries=entries, path=path)
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition ``findings`` against the baseline.
+
+        Returns ``(new, grandfathered, stale_entries)``: findings with no
+        entry, findings matched by an entry, and entries that matched no
+        finding (candidates for deletion).
+        """
+        by_fingerprint: dict[str, BaselineEntry] = {
+            entry.fingerprint(): entry for entry in self.entries
+        }
+        matched: set[str] = set()
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if fp in by_fingerprint:
+                matched.add(fp)
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale = [e for e in self.entries if e.fingerprint() not in matched]
+        return new, grandfathered, stale

@@ -1,0 +1,68 @@
+"""env-access — environment variables are read only by the config layer.
+
+Scattered ``os.environ`` reads make a run's behaviour depend on ambient
+process state that never appears in stats, cache keys or benchmark records.
+The sanctioned pattern is the ``REPRO_WORKERS`` one: a single config-layer
+module owns the read, names the variable in a module constant, validates the
+value, and everything else takes plain parameters.
+
+Flags ``os.environ[...]`` / ``os.environ.get(...)`` / ``os.getenv(...)``
+(and ``environ`` / ``getenv`` imported from ``os``) outside the configured
+allowlist of config-layer modules.
+
+Options:
+    allowed_modules: dotted module names that may touch the environment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    dotted_name,
+    register,
+)
+
+
+@register
+class EnvAccessChecker(Checker):
+    name = "env-access"
+    description = (
+        "os.environ may only be read through the config layer (the "
+        "REPRO_WORKERS pattern)"
+    )
+    default_config: dict[str, object] = {
+        "allowed_modules": ["repro.exec.pool"],
+    }
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        allowed = set(self.str_list("allowed_modules"))
+        if module.module in allowed:
+            return
+
+        imported_env: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name in ("environ", "getenv"):
+                        imported_env.add(alias.asname or alias.name)
+
+        for node in ast.walk(module.tree):
+            chain = dotted_name(node) if isinstance(node, ast.Attribute) else None
+            hit: str | None = None
+            if chain in ("os.environ", "os.getenv"):
+                hit = chain
+            elif isinstance(node, ast.Name) and node.id in imported_env:
+                hit = f"os.{node.id}"
+            if hit is not None:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"{hit} read outside the config layer; route it through "
+                    f"{' / '.join(sorted(allowed)) or 'the config module'} "
+                    f"(named constant + validation) and pass the value in",
+                )

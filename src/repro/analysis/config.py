@@ -1,0 +1,50 @@
+"""Lint-run configuration: rule selection and per-checker options.
+
+A :class:`LintConfig` can be built programmatically (the pytest API), from a
+JSON file (``--config``), or left at defaults (the committed rule set).  Per
+checker, ``options[rule]`` is merged *over* the checker's
+``default_config`` — so a config file only states deviations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+
+@dataclass
+class LintConfig:
+    """Configuration of one lint run."""
+
+    rules: list[str] | None = None
+    """Rule names to run (``None`` = every registered checker)."""
+
+    options: dict[str, dict[str, object]] = field(default_factory=dict)
+    """Per-rule option overrides, merged over each checker's defaults."""
+
+    baseline_path: Path | None = None
+    """Baseline file (``None`` = ``repro-lint-baseline.json`` next to the
+    first lint root, if present)."""
+
+    use_baseline: bool = True
+
+    @classmethod
+    def from_file(cls, path: Path) -> "LintConfig":
+        """Load a JSON config: ``{"rules": [...], "options": {rule: {...}}}``."""
+        data = json.loads(path.read_text(encoding="utf-8"))
+        rules = data.get("rules")
+        options_raw = data.get("options", {})
+        if not isinstance(options_raw, Mapping):
+            raise ValueError(f"{path}: 'options' must be an object")
+        options = {str(rule): dict(opts) for rule, opts in options_raw.items()}
+        baseline = data.get("baseline")
+        return cls(
+            rules=[str(r) for r in rules] if rules is not None else None,
+            options=options,
+            baseline_path=Path(baseline) if baseline else None,
+        )
+
+    def options_for(self, rule: str) -> dict[str, object]:
+        return dict(self.options.get(rule, {}))

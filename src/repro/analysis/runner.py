@@ -1,0 +1,193 @@
+"""Lint runner: collect files, run checkers, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineEntry, DEFAULT_BASELINE_NAME
+from repro.analysis.config import LintConfig
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    ProjectInfo,
+    all_checkers,
+)
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "node_modules"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    """Actionable findings: not suppressed, not grandfathered."""
+    grandfathered: list[Finding] = field(default_factory=list)
+    """Findings matched by a baseline entry."""
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    """Baseline entries that matched nothing (fixed — delete them)."""
+    suppressed: int = 0
+    """Findings silenced by inline ``# repro-lint: disable`` comments."""
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the tree is clean modulo the committed baseline."""
+        return not self.findings and not self.parse_errors
+
+    def format_text(self, verbose: bool = False) -> str:
+        lines: list[str] = []
+        for finding in self.findings:
+            lines.append(finding.format_text())
+        for error in self.parse_errors:
+            lines.append(f"error: {error}")
+        if verbose:
+            for finding in self.grandfathered:
+                lines.append(f"baselined: {finding.format_text()}")
+        for entry in self.stale_baseline:
+            lines.append(
+                f"stale baseline entry (fixed? delete it): "
+                f"[{entry.rule}] {entry.path} :: {entry.symbol}"
+            )
+        lines.append(
+            f"repro-lint: {len(self.findings)} finding(s), "
+            f"{len(self.grandfathered)} baselined, {self.suppressed} suppressed, "
+            f"{self.files_checked} file(s), rules: {', '.join(self.rules_run)}"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": self.rules_run,
+            "suppressed": self.suppressed,
+            "findings": [f.as_dict() for f in self.findings],
+            "grandfathered": [f.as_dict() for f in self.grandfathered],
+            "stale_baseline": [e.as_dict() for e in self.stale_baseline],
+            "parse_errors": self.parse_errors,
+        }
+        return json.dumps(payload, indent=2)
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    seen.add(candidate)
+        elif path.suffix == ".py":
+            seen.add(path)
+    return sorted(seen)
+
+
+def _relative_to_cwd(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[Path | str],
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) and return a :class:`LintReport`.
+
+    This is the pytest-friendly API: build a config, point it at a tree (or a
+    fixture file), and assert on ``report.findings``.
+    """
+    config = config or LintConfig()
+    resolved = [Path(p) for p in paths]
+    files = collect_files(resolved)
+
+    registry = all_checkers()
+    rule_names = config.rules if config.rules is not None else sorted(registry)
+    unknown = [r for r in rule_names if r not in registry]
+    if unknown:
+        raise ValueError(f"unknown lint rule(s): {', '.join(unknown)}")
+    checkers: list[Checker] = [
+        registry[rule](config.options_for(rule)) for rule in rule_names
+    ]
+
+    report = LintReport(rules_run=list(rule_names))
+    project = ProjectInfo()
+    raw_findings: list[Finding] = []
+    suppression_lookup: dict[str, ModuleInfo] = {}
+
+    for file_path in files:
+        rel = _relative_to_cwd(file_path)
+        try:
+            module = ModuleInfo.parse(file_path, rel_path=rel)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{rel}: {exc.msg} (line {exc.lineno})")
+            continue
+        project.modules.append(module)
+        suppression_lookup[rel] = module
+        report.files_checked += 1
+        for checker in checkers:
+            raw_findings.extend(checker.check_module(module))
+    for checker in checkers:
+        raw_findings.extend(checker.finalize(project))
+
+    kept: list[Finding] = []
+    for finding in raw_findings:
+        module_info = suppression_lookup.get(finding.path)
+        if module_info is not None and module_info.suppressions.is_suppressed(finding):
+            report.suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.column, f.rule, f.message))
+
+    baseline = _resolve_baseline(config, resolved)
+    if baseline is not None:
+        new, grandfathered, stale = baseline.split(kept)
+        report.findings = new
+        report.grandfathered = grandfathered
+        report.stale_baseline = stale
+        for entry in baseline.entries:
+            justification = entry.justification.strip()
+            if not justification or justification.startswith("TODO"):
+                report.findings.append(
+                    Finding(
+                        rule="baseline",
+                        path=entry.path,
+                        line=1,
+                        column=0,
+                        symbol=entry.symbol,
+                        message=(
+                            f"baseline entry for [{entry.rule}] {entry.symbol} "
+                            f"has no justification — explain why it is exempt"
+                        ),
+                    )
+                )
+    else:
+        report.findings = kept
+    return report
+
+
+def _resolve_baseline(
+    config: LintConfig, roots: Iterable[Path]
+) -> Baseline | None:
+    if not config.use_baseline:
+        return None
+    if config.baseline_path is not None:
+        return Baseline.load(config.baseline_path)
+    # Default: a committed baseline next to (or above) the first lint root.
+    for root in roots:
+        base = root if root.is_dir() else root.parent
+        for candidate_dir in (base, *base.resolve().parents):
+            candidate = candidate_dir / DEFAULT_BASELINE_NAME
+            if candidate.exists():
+                return Baseline.load(candidate)
+        break
+    return None
