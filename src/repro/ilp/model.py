@@ -156,6 +156,21 @@ class Constraint:
             self._coefficients = dict(zip(self.indices.tolist(), self.values.tolist()))
         return self._coefficients
 
+    def __getstate__(self) -> dict:
+        """Ship the constraint without its lazy dict view.
+
+        ``_coefficients`` duplicates the indices/values arrays as a Python
+        dict; inside a pickled :class:`SolveTask` it would roughly double the
+        per-constraint payload for state the worker can rebuild lazily.
+        """
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_coefficients"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     @property
     def nnz(self) -> int:
         return int(self.indices.size)
@@ -217,6 +232,16 @@ class Objective:
         if self._coefficients is None:
             self._coefficients = dict(zip(self.indices.tolist(), self.values.tolist()))
         return self._coefficients
+
+    def __getstate__(self) -> dict:
+        """Ship the objective without its lazy dict view (see Constraint)."""
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_coefficients"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     def evaluate(self, values: np.ndarray) -> float:
         if not self.indices.size:
