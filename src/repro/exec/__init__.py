@@ -17,6 +17,7 @@ from repro.exec.pool import (
 from repro.exec.tasks import (
     SolveTask,
     SolveTaskResult,
+    SupportsSolve,
     run_solve_task,
     solver_supports_warm_start,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "SolvePool",
     "SolveTask",
     "SolveTaskResult",
+    "SupportsSolve",
     "default_workers",
     "run_solve_task",
     "shared_pool",

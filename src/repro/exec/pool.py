@@ -43,7 +43,7 @@ import atexit
 import multiprocessing
 import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, TypeVar
 
 from repro.errors import SolverError
 
@@ -69,7 +69,7 @@ def default_workers() -> int:
     return max(1, value)
 
 
-def _mp_context():
+def _mp_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (cheap start-up, inherits loaded libraries)."""
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
@@ -85,7 +85,7 @@ class SolvePool:
             of ``1`` (or less) never spawns processes.
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None) -> None:
         self.workers = default_workers() if workers is None else max(1, int(workers))
         self._executor: ProcessPoolExecutor | None = None
 
@@ -142,7 +142,7 @@ class SolvePool:
     def __enter__(self) -> "SolvePool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -27,16 +27,24 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Protocol, TypeGuard
 
 import numpy as np
 
 from repro.ilp.branch_and_bound import BranchAndBoundSolver
 from repro.ilp.lp_backend import LpBackend, WarmStart
 from repro.ilp.model import IlpModel
-from repro.ilp.status import SolveStats, SolverStatus
+from repro.ilp.simplex import SimplexBasis
+from repro.ilp.status import Solution, SolveStats, SolverStatus
 
 
-def solver_supports_warm_start(solver: object) -> bool:
+class SupportsSolve(Protocol):
+    """The black-box solver contract a :class:`SolveTask` ships."""
+
+    def solve(self, model: IlpModel) -> Solution: ...
+
+
+def solver_supports_warm_start(solver: object) -> TypeGuard[BranchAndBoundSolver]:
     """Whether ``solver`` consumes a :class:`WarmStart` basis.
 
     Mirrors the SKETCHREFINE retry rule: only a SIMPLEX-backend
@@ -72,8 +80,8 @@ class SolveTask:
 
     task_id: int
     model: IlpModel
-    solver: object | None = None
-    warm_basis: object | None = None
+    solver: SupportsSolve | None = None
+    warm_basis: SimplexBasis | None = None
     rng_seed: int | None = 0
 
 
@@ -91,7 +99,7 @@ class SolveTaskResult:
     status: SolverStatus
     values: np.ndarray
     objective_value: float
-    root_basis: object | None = None
+    root_basis: SimplexBasis | None = None
     stats: SolveStats = field(default_factory=SolveStats)
     solve_seconds: float = 0.0
     warm_started: bool = False
@@ -112,10 +120,11 @@ def run_solve_task(task: SolveTask) -> SolveTaskResult:
         np.random.seed(task.rng_seed)
     started = time.perf_counter()
     solver = task.solver if task.solver is not None else BranchAndBoundSolver()
-    use_warm = task.warm_basis is not None and solver_supports_warm_start(solver)
-    if use_warm:
+    if task.warm_basis is not None and solver_supports_warm_start(solver):
+        use_warm = True
         solution = solver.solve(task.model, warm_start=WarmStart(basis=task.warm_basis))
     else:
+        use_warm = False
         solution = solver.solve(task.model)
     return SolveTaskResult(
         task_id=task.task_id,

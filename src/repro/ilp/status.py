@@ -4,8 +4,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.ilp.simplex import SimplexBasis
 
 
 class SolverStatus(enum.Enum):
@@ -96,7 +100,7 @@ class Solution:
     values: np.ndarray = field(default_factory=lambda: np.empty(0))
     objective_value: float = float("nan")
     stats: SolveStats = field(default_factory=SolveStats)
-    root_basis: "object | None" = None
+    root_basis: "SimplexBasis | None" = None
 
     @property
     def is_optimal(self) -> bool:
