@@ -1,0 +1,7 @@
+"""Fixture: sanctioned MatrixForm use — read, derive views, share the cache."""
+
+
+def inspect(form, lower, upper):
+    narrowed = form.with_bounds(lower, upper)   # derive, don't mutate
+    form.cache["working_matrix"] = object()     # the one sanctioned mutable slot
+    return narrowed, form.num_variables, form.b_ub.sum()

@@ -1,0 +1,6 @@
+"""Fixture: an in-place form edit, suppressed inline."""
+
+
+def patch_rhs(form, rhs):
+    form.b_ub = rhs  # repro-lint: disable=api-boundary (builder-local form)
+    return form

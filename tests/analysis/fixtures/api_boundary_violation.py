@@ -1,0 +1,14 @@
+"""Fixture: mutating a MatrixForm after construction."""
+
+
+def tamper(form, model):
+    form.b_ub = form.b_ub + 1.0
+    form.c[0] = 2.0
+    exported = model.to_matrix()
+    exported.bounds = []
+    return form, exported
+
+
+def tamper_annotated(reduced: "MatrixForm"):
+    reduced.maximize = True
+    return reduced

@@ -1,0 +1,15 @@
+"""Fixture: determinism violations silenced by inline suppressions."""
+
+import time
+
+
+def sanctioned_wall_clock():
+    # e.g. stamping a log record with real-world time is legitimate.
+    return time.time()  # repro-lint: disable=determinism (log timestamp)
+
+
+def sanctioned_set_iteration(groups):
+    total = 0
+    for gid in set(groups):  # repro-lint: disable=determinism (order-free sum)
+        total += gid
+    return total

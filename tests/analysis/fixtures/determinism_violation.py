@@ -1,0 +1,29 @@
+"""Fixture: violates every determinism sub-rule (never imported, only parsed)."""
+
+import random
+import time
+
+import numpy as np
+from random import shuffle
+
+
+def wall_clock_timing():
+    started = time.time()
+    return time.time() - started
+
+
+def hidden_global_rng():
+    a = random.random()
+    b = np.random.rand(3)
+    items = [1, 2, 3]
+    shuffle(items)
+    return a, b, items
+
+
+def hash_order_merge(groups):
+    merged = []
+    for gid in set(groups):
+        merged.append(gid)
+    for gid in {1, 2, 3}:
+        merged.append(gid)
+    return [g for g in frozenset(groups)]

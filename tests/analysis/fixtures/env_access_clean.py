@@ -1,0 +1,5 @@
+"""Fixture: configuration arrives as plain parameters, not ambient state."""
+
+
+def configured(workers, scale=1.0):
+    return workers * scale

@@ -1,0 +1,7 @@
+"""Fixture: a sanctioned environment read, suppressed inline."""
+
+import os
+
+
+def debug_flag():
+    return os.environ.get("REPRO_DEBUG")  # repro-lint: disable=env-access (debug-only)

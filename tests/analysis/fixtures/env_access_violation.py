@@ -1,0 +1,13 @@
+"""Fixture: ambient environment reads outside the config layer."""
+
+import os
+from os import environ, getenv
+
+
+def scattered_reads():
+    a = os.environ.get("REPRO_FIXTURE")
+    b = os.environ["REPRO_FIXTURE"]
+    c = os.getenv("REPRO_FIXTURE", "0")
+    d = environ.get("REPRO_FIXTURE")
+    e = getenv("REPRO_FIXTURE")
+    return a, b, c, d, e

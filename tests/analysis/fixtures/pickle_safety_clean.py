@@ -1,0 +1,35 @@
+"""Fixture: payload classes that drop every derived attribute on pickling."""
+
+
+class FixtureTask:
+    def __init__(self, payload):
+        self.payload = payload
+        self._result_cache = {}
+        self._memo = None
+        self._plain_state = payload  # allow-listed in the test's config
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_result_cache"] = {}
+        state.pop("_memo")
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._result_cache = {}
+        self._memo = None
+
+
+class FixturePartial:
+    def __init__(self):
+        self._cache = {}
+        self._work_arrays = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        state["_work_arrays"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)

@@ -1,0 +1,27 @@
+"""Fixture: worker payload classes shipping caches across the pool boundary."""
+
+
+class FixtureTask:
+    """Payload class with cache-like attributes and no __getstate__ at all."""
+
+    def __init__(self, payload):
+        self.payload = payload
+        self._result_cache = {}
+        self._memo = None
+
+
+class FixturePartial:
+    """Payload class whose __getstate__ misses one derived attribute."""
+
+    def __init__(self):
+        self._cache = {}
+        self._work_arrays = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache = {}

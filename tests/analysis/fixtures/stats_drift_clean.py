@@ -1,0 +1,19 @@
+"""Fixture: every declared field written, every write declared."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FixtureStats:
+    hits: int = 0
+    misses: int = 0
+    built_at_construction: int = 0
+
+
+def record(stats):
+    stats.hits += 1
+    stats.misses = 2
+
+
+def build():
+    return FixtureStats(built_at_construction=1)

@@ -1,0 +1,14 @@
+"""Fixture: stats drift silenced by inline suppressions."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FixtureStats:
+    hits: int = 0
+    external_only: float = 0.0  # repro-lint: disable=stats-drift (set by callers)
+
+
+def record(stats):
+    stats.hits += 1
+    stats.adhoc_field = 1  # repro-lint: disable=stats-drift (scratch, not telemetry)

@@ -1,0 +1,16 @@
+"""Fixture: stats class and its writers disagree in both directions."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FixtureStats:
+    hits: int = 0
+    misses: int = 0
+    never_touched: float = 0.0
+
+
+def record(stats):
+    stats.hits += 1
+    stats.misses = 2
+    stats.typo_hits = 3

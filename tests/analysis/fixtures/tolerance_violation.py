@@ -1,0 +1,9 @@
+"""Fixture: bare float equality in solver-shaped code."""
+
+
+def compare_objectives(objective_value, best_objective, x, y, a, b):
+    exact_tie = objective_value == best_objective
+    literal = x != 0.0
+    ratio = a / b == 1
+    converted = float(y) == x
+    return exact_tie, literal, ratio, converted

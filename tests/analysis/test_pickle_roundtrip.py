@@ -1,0 +1,154 @@
+"""Regression guard: every SolveTask-reachable class pickles faithfully.
+
+The class list is read from the pickle-safety checker's ``payload_classes``
+config — the same source of truth the static rule enforces — so the checker
+and this runtime guard cannot drift apart: a class added to the checker must
+be constructible and round-trippable here, and a class pickled by the solve
+plane must be registered with the checker.
+
+Beyond per-class round-trips, the end-to-end property is asserted: solving a
+pickled-and-restored task yields results bit-identical to the original, and
+every derived cache arrives empty on the far side.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+import pytest
+
+from repro.analysis.checkers.pickle_safety import PickleSafetyChecker
+from repro.exec.tasks import SolveTask, SolveTaskResult, run_solve_task
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
+from repro.ilp.lp_backend import LpBackend
+from repro.ilp.model import (
+    Constraint,
+    ConstraintSense,
+    IlpModel,
+    Objective,
+    ObjectiveSense,
+    Variable,
+)
+from repro.ilp.matrix_form import MatrixForm
+from repro.ilp.presolve import Postsolve, presolve_form
+from repro.ilp.simplex import SimplexBasis
+from repro.ilp.status import Solution, SolveStats
+
+
+def _small_model() -> IlpModel:
+    model = IlpModel("pickle-guard")
+    for i in range(4):
+        model.add_variable(f"x{i}", upper=3)
+    model.add_constraint(
+        {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}, ConstraintSense.LE, 5, name="count"
+    )
+    model.add_constraint(
+        {0: 2.0, 1: 1.0, 3: 4.0}, ConstraintSense.GE, 3, name="budget"
+    )
+    model.set_objective(ObjectiveSense.MAXIMIZE, {0: 3.0, 1: 1.0, 2: 2.0, 3: 0.5})
+    return model
+
+
+@pytest.fixture(scope="module")
+def payload_instances() -> dict[str, Any]:
+    """One live instance of every class the pickle-safety checker registers."""
+    model = _small_model()
+    # Materialise every lazy cache so the round-trip assertions are
+    # meaningful: a fresh object with empty caches would pass trivially.
+    _ = model.constraints[0].coefficients
+    _ = model.objective.coefficients
+    _ = model.bound_and_integrality_arrays()
+    form = model.to_matrix()
+    result = presolve_form(form)
+    assert result.feasible and result.postsolve is not None
+
+    solver = BranchAndBoundSolver(lp_backend=LpBackend.SIMPLEX)
+    solution = solver.solve(model)
+    assert solution.has_solution
+    assert solution.root_basis is not None, "SIMPLEX solve should export a basis"
+
+    task = SolveTask(
+        task_id=7, model=model, solver=solver,
+        warm_basis=solution.root_basis, rng_seed=11,
+    )
+    task_result = run_solve_task(task)
+
+    return {
+        "SolveTask": task,
+        "SolveTaskResult": task_result,
+        "IlpModel": model,
+        "Variable": model.variables[0],
+        "Constraint": model.constraints[0],
+        "Objective": model.objective,
+        "MatrixForm": form,
+        "Postsolve": result.postsolve,
+        "SimplexBasis": solution.root_basis,
+        "SolveStats": solution.stats,
+        "Solution": solution,
+        "BranchAndBoundSolver": solver,
+        "SolverLimits": solver.limits,
+    }
+
+
+def test_instance_list_matches_checker_class_list(
+    payload_instances: dict[str, Any]
+) -> None:
+    """The checker's payload_classes and this test cover exactly the same set."""
+    configured = set(PickleSafetyChecker.default_config["payload_classes"])
+    assert configured == set(payload_instances), (
+        "pickle-safety payload_classes and the round-trip guard drifted apart; "
+        "update both together"
+    )
+    # Every name resolves to the class the instance actually is.
+    for name, instance in payload_instances.items():
+        assert type(instance).__name__ == name
+
+
+def test_every_payload_class_roundtrips(payload_instances: dict[str, Any]) -> None:
+    for name, instance in payload_instances.items():
+        restored = pickle.loads(pickle.dumps(instance))
+        assert type(restored) is type(instance), name
+
+
+def test_derived_caches_arrive_empty(payload_instances: dict[str, Any]) -> None:
+    model: IlpModel = pickle.loads(pickle.dumps(payload_instances["IlpModel"]))
+    assert model._matrix_cache == {}
+    assert model._variable_arrays is None
+    assert model.constraints[0]._coefficients is None
+    assert model.objective._coefficients is None
+
+    form: MatrixForm = payload_instances["MatrixForm"]
+    form.cache["scratch"] = object()
+    restored_form: MatrixForm = pickle.loads(pickle.dumps(form))
+    assert restored_form.cache == {}
+
+    postsolve: Postsolve = pickle.loads(pickle.dumps(payload_instances["Postsolve"]))
+    assert postsolve._node_rows is None
+
+
+def test_restored_model_solves_identically(payload_instances: dict[str, Any]) -> None:
+    model: IlpModel = payload_instances["IlpModel"]
+    restored: IlpModel = pickle.loads(pickle.dumps(model))
+    solver = BranchAndBoundSolver(lp_backend=LpBackend.SIMPLEX)
+    original = solver.solve(model)
+    again = solver.solve(restored)
+    assert original.status is again.status
+    assert original.objective_value == again.objective_value
+    assert np.array_equal(original.values, again.values)
+    # The dropped memo dicts rebuild to identical content.
+    assert restored.constraints[0].coefficients == model.constraints[0].coefficients
+    assert restored.objective.coefficients == model.objective.coefficients
+
+
+def test_restored_task_executes_identically(payload_instances: dict[str, Any]) -> None:
+    task: SolveTask = payload_instances["SolveTask"]
+    reference: SolveTaskResult = payload_instances["SolveTaskResult"]
+    restored_task: SolveTask = pickle.loads(pickle.dumps(task))
+    rerun = run_solve_task(restored_task)
+    assert rerun.task_id == reference.task_id
+    assert rerun.status is reference.status
+    assert rerun.objective_value == reference.objective_value
+    assert np.array_equal(rerun.values, reference.values)
+    assert rerun.warm_started == reference.warm_started
