@@ -68,11 +68,15 @@ from repro.ilp.lp_backend import LpBackend, LpResult, WarmStart, solve_lp_form
 from repro.ilp.matrix_form import MatrixForm
 from repro.ilp.model import ConstraintSense, IlpModel, ObjectiveSense
 from repro.ilp.presolve import Postsolve, presolve_form
-from repro.ilp.simplex import SimplexBasis
+from repro.ilp.simplex import PricingRule, SimplexBasis
 from repro.ilp.status import Solution, SolveStats, SolverStatus
 
 _INTEGRALITY_TOLERANCE = 1e-6
 _BOUND_TOLERANCE = 1e-9
+#: Relative slack added to the incumbent-derived objective cutoff so that
+#: equal-objective optima survive the dual reduction (ties must not be cut:
+#: the differential harness asserts NAIVE == DIRECT on the solution itself).
+_CUTOFF_SLACK = 1e-6
 
 
 class BranchingRule(enum.Enum):
@@ -137,11 +141,16 @@ class BranchAndBoundSolver:
         enable_rounding_heuristic: bool = True,
         warm_start_lp: bool = True,
         presolve: bool = True,
+        pricing: PricingRule = PricingRule.AUTO,
     ):
         self.limits = limits or SolverLimits()
         self.branching = branching
         self.node_selection = node_selection
         self.lp_backend = lp_backend
+        # Simplex entering-variable rule for node LPs (SIMPLEX backend only);
+        # AUTO resolves per instance width, the explicit rules exist for the
+        # pricing-ablation benchmark.
+        self.pricing = pricing
         self.enable_rounding_heuristic = enable_rounding_heuristic
         # Basis reuse across the tree (SIMPLEX backend only); the off switch
         # exists so benchmarks can measure cold-vs-warm node throughput.
@@ -190,6 +199,7 @@ class BranchAndBoundSolver:
             stats.vars_fixed = reduction.stats.vars_fixed
             stats.rows_removed = reduction.stats.rows_removed
             stats.presolve_ms = reduction.stats.presolve_ms
+            stats.coefficients_tightened = reduction.stats.coefficients_tightened
             if not reduction.feasible:
                 stats.wall_time_seconds = time.perf_counter() - start
                 return Solution.infeasible(stats)
@@ -246,19 +256,22 @@ class BranchAndBoundSolver:
             node = heapq.heappop(heap)
             stats.nodes_explored += 1
 
-            lp_result = self._solve_node_lp(solve_form, node, postsolve)
-            stats.lp_solves += 1
-            stats.simplex_iterations += lp_result.iterations
-            if lp_result.warm_start_used:
-                stats.warm_start_hits += 1
+            # Dual reduction from the incumbent: any solution worth keeping
+            # beats (or ties) the incumbent objective, so node presolve may
+            # propagate that bound as one more <= row and fix non-improving
+            # variables before the LP runs.
+            cutoff = self._objective_cutoff_min(sense, incumbent, incumbent_value, postsolve)
+            if cutoff is not None:
+                stats.objective_cutoffs += 1
+            lp_result = self._solve_node_lp(solve_form, node, postsolve, cutoff)
+            self._accumulate_lp_stats(stats, lp_result)
             if lp_result.status is SolverStatus.NUMERICAL_ERROR and node.parent_basis is not None:
                 # The warm basis corrupted the solve; retry the node cold
                 # rather than pruning (or aborting) on numerical noise.
                 stats.numerical_retries += 1
                 node.parent_basis = None
-                lp_result = self._solve_node_lp(solve_form, node, postsolve)
-                stats.lp_solves += 1
-                stats.simplex_iterations += lp_result.iterations
+                lp_result = self._solve_node_lp(solve_form, node, postsolve, cutoff)
+                self._accumulate_lp_stats(stats, lp_result)
             if lp_result.status is SolverStatus.NUMERICAL_ERROR:
                 raise SolverError(
                     f"LP relaxation failed numerically at node depth {node.depth}"
@@ -366,13 +379,48 @@ class BranchAndBoundSolver:
             return SolverStatus.CAPACITY_EXCEEDED
         return None
 
+    @staticmethod
+    def _accumulate_lp_stats(stats: SolveStats, lp_result: LpResult) -> None:
+        stats.lp_solves += 1
+        stats.simplex_iterations += lp_result.iterations
+        if lp_result.warm_start_used:
+            stats.warm_start_hits += 1
+        stats.refactorizations += lp_result.refactorizations
+        stats.eta_peak = max(stats.eta_peak, lp_result.eta_peak)
+        if lp_result.pricing:
+            stats.pricing_rule = lp_result.pricing
+
+    @staticmethod
+    def _objective_cutoff_min(
+        sense: ObjectiveSense,
+        incumbent: np.ndarray | None,
+        incumbent_value: float,
+        postsolve: Postsolve | None,
+    ) -> float | None:
+        """Incumbent objective as a reduced-space, minimisation-sense cutoff.
+
+        ``None`` (no cutoff) until an incumbent exists; the relative
+        :data:`_CUTOFF_SLACK` keeps alternative optima of equal objective
+        inside the cut region.
+        """
+        if incumbent is None or postsolve is None or not np.isfinite(incumbent_value):
+            return None
+        value_min = incumbent_value if sense is ObjectiveSense.MINIMIZE else -incumbent_value
+        cutoff = value_min - postsolve.objective_offset_min
+        return cutoff + _CUTOFF_SLACK * max(1.0, abs(cutoff))
+
     def _solve_node_lp(
-        self, form: MatrixForm, node: _Node, postsolve: Postsolve | None = None
+        self,
+        form: MatrixForm,
+        node: _Node,
+        postsolve: Postsolve | None = None,
+        objective_cutoff_min: float | None = None,
     ) -> LpResult:
         """Solve one node's LP relaxation, in reduced space when presolved.
 
         ``form`` is the (possibly reduced) shared matrix form.  Node bounds
-        are kept in the original variable space and projected per node; the
+        are kept in the original variable space and projected per node —
+        optionally strengthened by the incumbent objective cutoff; the
         returned values and objective are expanded back to the original space
         while the basis stays reduced — children consume it against the same
         reduced form.
@@ -381,7 +429,9 @@ class BranchAndBoundSolver:
             node_form = form.with_bounds(node.lower_bounds, node.upper_bounds)
         else:
             reduced_lower, reduced_upper = postsolve.reduce_bounds(
-                node.lower_bounds, node.upper_bounds
+                node.lower_bounds,
+                node.upper_bounds,
+                objective_cutoff_min=objective_cutoff_min,
             )
             node_form = form.with_bounds(reduced_lower, reduced_upper)
         warm = None
@@ -391,7 +441,10 @@ class BranchAndBoundSolver:
             and self.lp_backend is LpBackend.SIMPLEX
         ):
             warm = WarmStart(basis=node.parent_basis)
-        result = solve_lp_form(node_form, self.lp_backend, warm_start=warm, presolve=False)
+        result = solve_lp_form(
+            node_form, self.lp_backend, warm_start=warm, presolve=False,
+            pricing=self.pricing,
+        )
         if postsolve is None or not result.status.has_solution:
             return result
         return LpResult(
@@ -401,6 +454,9 @@ class BranchAndBoundSolver:
             basis=result.basis,
             iterations=result.iterations,
             warm_start_used=result.warm_start_used,
+            refactorizations=result.refactorizations,
+            eta_peak=result.eta_peak,
+            pricing=result.pricing,
         )
 
     @staticmethod

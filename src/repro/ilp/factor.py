@@ -1,0 +1,175 @@
+"""LU-factorised simplex basis with an eta file of pivot updates.
+
+PR 1's revised simplex maintained an explicit dense ``m×m`` basis inverse:
+every pivot was a rank-one outer-product update (O(m²)) and every
+refactorisation a full ``np.linalg.inv`` (no pivoting for stability).  This
+module replaces that with the representation production LP codes use:
+
+* **LU factors of B** (partial pivoting, LAPACK ``getrf`` via
+  :func:`scipy.linalg.lu_factor`) computed at *refactorisation points*, and
+* an **eta file** — the product-form update vectors of the pivots applied
+  since the last refactorisation.  After ``k`` pivots the basis satisfies
+  ``B_k = B_0 · E_1⁻¹ ⋯ E_k⁻¹``, so ``B_k⁻¹ v = E_k ⋯ E_1 (B_0⁻¹ v)``.
+
+All basis solves go through three entry points:
+
+* :meth:`BasisFactor.ftran` — ``B⁻¹ v`` (entering-column transformation,
+  basic-value computation),
+* :meth:`BasisFactor.btran` — ``v B⁻¹`` i.e. the solution of ``y B = v``
+  (dual/pricing vector), and
+* :meth:`BasisFactor.btran_row` — row ``r`` of ``B⁻¹`` (the dual-simplex
+  pivot row), which is just ``btran(e_r)``.
+
+A pivot appends one eta vector in O(m) (:meth:`update`); the dense-inverse
+scheme paid O(m²) per pivot.  Refactorisation is *stability-triggered* — an
+eta pivot smaller than :data:`STABILITY_TOLERANCE` relative to its column is
+refused and the caller refactorises — as well as periodic (the caller bounds
+the eta-file length so FTRAN/BTRAN stay O(m² + k·m) with small ``k``).
+
+Factors are **forkable**: :meth:`fork` snapshots the factorisation in O(k)
+by sharing the immutable LU arrays and copying the eta list.  This is the
+warm-start protocol over factors — an optimal solve exports its basis *with*
+its factor attached, and a related reoptimisation (branch-and-bound child,
+SKETCHREFINE backtracking retry) installs the fork instead of refactorising
+from scratch.  Forked factors never ship across the process boundary: they
+are derived per-process state, dropped by
+:meth:`~repro.ilp.simplex.SimplexBasis.__getstate__`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+#: An eta pivot must be at least this large relative to the largest entry of
+#: its transformed column; smaller pivots refuse the update and force a
+#: refactorisation (the product-form analogue of partial pivoting).
+STABILITY_TOLERANCE = 1e-8
+
+#: U diagonal entries below this (relative to the largest) mean the basis
+#: matrix is numerically singular and the factorisation is rejected.
+_SINGULAR_TOLERANCE = 1e-12
+
+
+class BasisFactor:
+    """LU factors of a basis matrix plus the eta file of later pivots.
+
+    Instances are created through :meth:`factorize` (or :meth:`identity` for
+    the all-artificial start basis, whose matrix is I) and advanced by
+    :meth:`update` after each simplex pivot.  The LU arrays are immutable
+    once built; the eta list only ever appends — which is what makes
+    :meth:`fork` an O(k) snapshot safe to hand to a different solve.
+    """
+
+    __slots__ = ("m", "_lu", "_piv", "_etas")
+
+    def __init__(self, m: int, lu: np.ndarray | None, piv: np.ndarray | None):
+        self.m = m
+        self._lu = lu
+        self._piv = piv
+        # Each eta is (row, pivot, scale) with scale = w, w[row] zeroed:
+        # applying it to a column vector x is  t = x[row]/pivot;
+        # x -= scale·t; x[row] = t.
+        self._etas: list[tuple[int, float, np.ndarray]] = []
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, m: int) -> "BasisFactor":
+        """The factor of the ``m×m`` identity (the all-artificial basis)."""
+        return cls(m, None, None)
+
+    @classmethod
+    def factorize(cls, basis_matrix: np.ndarray) -> "BasisFactor | None":
+        """LU-factorise a basis matrix; ``None`` when singular/non-finite."""
+        matrix = np.asarray(basis_matrix, dtype=np.float64)
+        m = matrix.shape[0]
+        if m == 0:
+            return cls.identity(0)
+        if not np.all(np.isfinite(matrix)):
+            return None
+        try:
+            lu, piv = sla.lu_factor(matrix, check_finite=False)
+        except (ValueError, sla.LinAlgError):
+            return None
+        if not np.all(np.isfinite(lu)):
+            return None
+        diag = np.abs(np.diagonal(lu))
+        if diag.min() <= _SINGULAR_TOLERANCE * max(1.0, float(diag.max())):
+            return None
+        return cls(m, lu, piv)
+
+    def fork(self) -> "BasisFactor":
+        """An O(k) snapshot sharing the LU arrays; etas append independently.
+
+        The snapshot answers FTRAN/BTRAN for exactly the basis this factor
+        currently represents, and later :meth:`update` calls on either copy
+        do not affect the other (eta tuples are immutable once appended).
+        """
+        child = BasisFactor(self.m, self._lu, self._piv)
+        child._etas = list(self._etas)
+        return child
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def eta_count(self) -> int:
+        """Pivots applied since the last refactorisation."""
+        return len(self._etas)
+
+    def matches(self, m: int) -> bool:
+        """Whether this factor solves systems of the given dimension."""
+        return self.m == m
+
+    # -- solves -------------------------------------------------------------------
+
+    def ftran(self, v: np.ndarray) -> np.ndarray:
+        """``B⁻¹ v`` — forward transformation through LU then the eta file."""
+        if self.m == 0:
+            return np.zeros(0)
+        if self._lu is None:
+            x = np.array(v, dtype=np.float64, copy=True)
+        else:
+            x = sla.lu_solve((self._lu, self._piv), v, check_finite=False)
+        for row, pivot, scale in self._etas:
+            t = x[row] / pivot
+            x -= scale * t
+            x[row] = t
+        return x
+
+    def btran(self, v: np.ndarray) -> np.ndarray:
+        """``v B⁻¹`` — backward transformation: etas in reverse, then Uᵀ/Lᵀ."""
+        if self.m == 0:
+            return np.zeros(0)
+        y = np.array(v, dtype=np.float64, copy=True)
+        for row, pivot, scale in reversed(self._etas):
+            y[row] = (y[row] - y @ scale) / pivot
+        if self._lu is None:
+            return y
+        return sla.lu_solve((self._lu, self._piv), y, trans=1, check_finite=False)
+
+    def btran_row(self, r: int) -> np.ndarray:
+        """Row ``r`` of ``B⁻¹`` (``e_r B⁻¹``), the dual-simplex pivot row."""
+        e = np.zeros(self.m)
+        e[r] = 1.0
+        return self.btran(e)
+
+    # -- updates ------------------------------------------------------------------
+
+    def update(self, row: int, w: np.ndarray) -> bool:
+        """Append the eta of a pivot at ``row`` with FTRAN'd column ``w``.
+
+        ``w`` must be ``ftran`` of the entering column *before* the update
+        (the classic product-form construction).  Returns ``False`` — eta not
+        appended — when the pivot element is too small relative to the column
+        to be numerically trustworthy; the caller must refactorise instead.
+        """
+        pivot = float(w[row])
+        if not np.isfinite(pivot):
+            return False
+        if abs(pivot) < STABILITY_TOLERANCE * max(1.0, float(np.abs(w).max())):
+            return False
+        scale = np.array(w, dtype=np.float64, copy=True)
+        scale[row] = 0.0
+        self._etas.append((row, pivot, scale))
+        return True

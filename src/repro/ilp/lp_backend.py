@@ -45,6 +45,7 @@ from repro.ilp.matrix_form import MatrixForm
 from repro.ilp.model import IlpModel
 from repro.ilp.presolve import PresolveResult, presolve_form
 from repro.ilp.simplex import (
+    PricingRule,
     SimplexBasis,
     SimplexResult,
     SimplexStatus,
@@ -87,6 +88,9 @@ class LpResult:
         iterations: Simplex iterations spent (0 for HiGHS).
         warm_start_used: Whether a supplied warm start was actually consumed
             rather than rejected (stale basis) or ignored (HiGHS).
+        refactorizations: Basis refactorisations during the solve (SIMPLEX).
+        eta_peak: Longest eta file between refactorisations (SIMPLEX).
+        pricing: Resolved pricing rule that drove the solve ("" for HiGHS).
     """
 
     status: SolverStatus
@@ -95,6 +99,9 @@ class LpResult:
     basis: SimplexBasis | None = None
     iterations: int = 0
     warm_start_used: bool = False
+    refactorizations: int = 0
+    eta_peak: int = 0
+    pricing: str = ""
 
 
 def solve_lp_form(
@@ -102,6 +109,7 @@ def solve_lp_form(
     backend: LpBackend = LpBackend.HIGHS,
     warm_start: WarmStart | None = None,
     presolve: bool = True,
+    pricing: PricingRule = PricingRule.AUTO,
 ) -> LpResult:
     """Solve the LP relaxation of a matrix-form model.
 
@@ -116,13 +124,13 @@ def solve_lp_form(
     manage their own reduction (branch-and-bound) pass ``presolve=False``.
     """
     if not presolve:
-        return _dispatch(form, backend, warm_start)
+        return _dispatch(form, backend, warm_start, pricing)
     reduction = _cached_presolve(form)
     if not reduction.feasible:
         return LpResult(SolverStatus.INFEASIBLE, np.empty(0), float("nan"))
     postsolve = reduction.postsolve
     if reduction.form is form:
-        return _dispatch(form, backend, warm_start)
+        return _dispatch(form, backend, warm_start, pricing)
     reduced_warm = None
     if warm_start is not None and warm_start.basis is not None:
         mapped = postsolve.reduce_basis(warm_start.basis)
@@ -139,7 +147,7 @@ def solve_lp_form(
             # fixed a column that is basic there).  A dual reoptimisation
             # from that basis is usually cheaper than a cold reduced solve,
             # so the warm start wins and presolve steps aside.
-            return _dispatch(form, backend, warm_start)
+            return _dispatch(form, backend, warm_start, pricing)
     if postsolve.num_reduced_vars == 0:
         # Everything fixed by presolve; the remaining rows were all removed
         # (or the reduction would have been infeasible).
@@ -147,7 +155,7 @@ def solve_lp_form(
         return LpResult(
             SolverStatus.OPTIMAL, values, form.objective_from_min(float(form.c @ values))
         )
-    result = _dispatch(reduction.form, backend, reduced_warm)
+    result = _dispatch(reduction.form, backend, reduced_warm, pricing)
     if not result.status.has_solution:
         return LpResult(
             result.status,
@@ -155,6 +163,9 @@ def solve_lp_form(
             result.objective_value,
             iterations=result.iterations,
             warm_start_used=result.warm_start_used,
+            refactorizations=result.refactorizations,
+            eta_peak=result.eta_peak,
+            pricing=result.pricing,
         )
     return LpResult(
         result.status,
@@ -163,15 +174,21 @@ def solve_lp_form(
         basis=postsolve.restore_basis(result.basis),
         iterations=result.iterations,
         warm_start_used=result.warm_start_used,
+        refactorizations=result.refactorizations,
+        eta_peak=result.eta_peak,
+        pricing=result.pricing,
     )
 
 
 def _dispatch(
-    form: MatrixForm, backend: LpBackend, warm_start: WarmStart | None
+    form: MatrixForm,
+    backend: LpBackend,
+    warm_start: WarmStart | None,
+    pricing: PricingRule = PricingRule.AUTO,
 ) -> LpResult:
     if backend is LpBackend.HIGHS:
         return _solve_highs(form)
-    return _solve_simplex(form, warm_start)
+    return _solve_simplex(form, warm_start, pricing)
 
 
 def _cached_presolve(form: MatrixForm) -> PresolveResult:
@@ -207,6 +224,9 @@ def solve_lp(
         lp_solves=1,
         simplex_iterations=result.iterations,
         warm_start_hits=1 if result.warm_start_used else 0,
+        refactorizations=result.refactorizations,
+        eta_peak=result.eta_peak,
+        pricing_rule=result.pricing,
     )
     if not result.status.has_solution:
         return Solution(result.status, stats=stats)
@@ -240,9 +260,15 @@ def _solve_highs(form: MatrixForm) -> LpResult:
     raise SolverError(f"HiGHS LP solve failed: {result.message}")
 
 
-def _solve_simplex(form: MatrixForm, warm_start: WarmStart | None = None) -> LpResult:
+def _solve_simplex(
+    form: MatrixForm,
+    warm_start: WarmStart | None = None,
+    pricing: PricingRule = PricingRule.AUTO,
+) -> LpResult:
     basis = warm_start.basis if warm_start is not None else None
-    simplex_result: SimplexResult = solve_form_simplex(form, warm_start=basis)
+    simplex_result: SimplexResult = solve_form_simplex(
+        form, warm_start=basis, pricing=pricing
+    )
     if simplex_result.status is SimplexStatus.OPTIMAL:
         return LpResult(
             SolverStatus.OPTIMAL,
@@ -251,31 +277,28 @@ def _solve_simplex(form: MatrixForm, warm_start: WarmStart | None = None) -> LpR
             basis=simplex_result.basis,
             iterations=simplex_result.iterations,
             warm_start_used=simplex_result.warm_started,
+            refactorizations=simplex_result.refactorizations,
+            eta_peak=simplex_result.eta_peak,
+            pricing=simplex_result.pricing,
         )
-    if simplex_result.status is SimplexStatus.INFEASIBLE:
-        return LpResult(
-            SolverStatus.INFEASIBLE,
-            np.empty(0),
-            float("nan"),
-            iterations=simplex_result.iterations,
-            warm_start_used=simplex_result.warm_started,
-        )
-    if simplex_result.status is SimplexStatus.UNBOUNDED:
-        return LpResult(
-            SolverStatus.UNBOUNDED,
-            np.empty(0),
-            float("nan"),
-            iterations=simplex_result.iterations,
-            warm_start_used=simplex_result.warm_started,
-        )
-    if simplex_result.status is SimplexStatus.NUMERICAL_ERROR:
-        # Surfaced (not raised) so branch-and-bound can retry the node cold
-        # rather than aborting — or worse, pruning — the subtree.
-        return LpResult(
-            SolverStatus.NUMERICAL_ERROR,
-            np.empty(0),
-            float("nan"),
-            iterations=simplex_result.iterations,
-            warm_start_used=simplex_result.warm_started,
-        )
-    raise SolverError("simplex LP solve did not converge")
+    status_map = {
+        SimplexStatus.INFEASIBLE: SolverStatus.INFEASIBLE,
+        SimplexStatus.UNBOUNDED: SolverStatus.UNBOUNDED,
+        # NUMERICAL_ERROR is surfaced (not raised) so branch-and-bound can
+        # retry the node cold rather than aborting — or worse, pruning — the
+        # subtree.
+        SimplexStatus.NUMERICAL_ERROR: SolverStatus.NUMERICAL_ERROR,
+    }
+    mapped = status_map.get(simplex_result.status)
+    if mapped is None:
+        raise SolverError("simplex LP solve did not converge")
+    return LpResult(
+        mapped,
+        np.empty(0),
+        float("nan"),
+        iterations=simplex_result.iterations,
+        warm_start_used=simplex_result.warm_started,
+        refactorizations=simplex_result.refactorizations,
+        eta_peak=simplex_result.eta_peak,
+        pricing=simplex_result.pricing,
+    )

@@ -92,7 +92,9 @@ def _coefficient_arrays(
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
     indices = np.fromiter(coefficients.keys(), dtype=np.int64, count=len(coefficients))
     values = np.fromiter(coefficients.values(), dtype=np.float64, count=len(coefficients))
-    nonzero = values != 0.0
+    # Structural zero-dropping: exactly-0.0 marks a non-entry of the sparse
+    # triplets (a tolerance would silently drop small real coefficients).
+    nonzero = values.astype(bool)
     if not nonzero.all():
         indices, values = indices[nonzero], values[nonzero]
     order = np.argsort(indices, kind="stable")
@@ -114,7 +116,8 @@ def _validate_arrays(
             raise SolverError(f"{what} references an unknown variable index")
         if np.unique(indices).size != indices.size:
             raise SolverError(f"{what} contains duplicate variable indices")
-    nonzero = values != 0.0
+    # Structural zero-dropping, as in _coefficient_arrays.
+    nonzero = values.astype(bool)
     if not nonzero.all():
         indices, values = indices[nonzero], values[nonzero]
     return indices, values

@@ -83,6 +83,7 @@ class PresolveStats:
     vars_fixed: int = 0
     rows_removed: int = 0
     bounds_tightened: int = 0
+    coefficients_tightened: int = 0
     passes: int = 0
     presolve_ms: float = 0.0
 
@@ -225,6 +226,61 @@ def _propagate_ge(
     return tightened
 
 
+def _tighten_row_coefficients(
+    rows: _Rows,
+    rhs: np.ndarray,
+    active: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    integer_mask: np.ndarray | None,
+) -> int:
+    """Strengthen ``<=`` row coefficients against integral columns, in place.
+
+    For an entry ``a_j x_j`` of an active row with maximal activity
+    ``M = max_act`` and surplus ``delta = M - b``, when ``x_j`` is integral
+    and ``0 < delta < |a_j|`` the coefficient can be shrunk toward the bound
+    the entry's maximum sits at::
+
+        a_j > 0:  a_j' = delta,   b' = b - (a_j - delta) * u_j
+        a_j < 0:  a_j' = -delta,  b' = b - (a_j + delta) * l_j
+
+    Every integral point satisfying the original row satisfies the tightened
+    one (the surplus an integral step can recover is bounded by ``delta``),
+    the tightened LP region is contained in the original (so incumbents and
+    dual bounds stay sound), and the LP relaxation gets strictly tighter.
+    Requires activities computed for the *current* bounds or looser ones —
+    a looser ``M`` only shrinks ``delta``'s eligibility window, never breaks
+    soundness.  One entry per row per call keeps ``max_act`` honest; the
+    pass loop picks up remaining entries on later sweeps.  Returns the
+    number of coefficients changed (``rows.data`` and ``rhs`` are mutated).
+    """
+    if integer_mask is None or not rows.data.size:
+        return 0
+    keep = active[rows.row] & integer_mask[rows.col]
+    if not keep.any():
+        return 0
+    a = rows.data
+    delta = rows.max_act[rows.row] - rhs[rows.row]
+    tol = _TIGHTEN_TOLERANCE * np.maximum(1.0, np.abs(a))
+    with np.errstate(invalid="ignore"):
+        eligible = keep & np.isfinite(delta) & (delta > tol) & (delta < np.abs(a) - tol)
+    if not eligible.any():
+        return 0
+    idx = np.nonzero(eligible)[0]
+    _, first = np.unique(rows.row[idx], return_index=True)
+    idx = idx[first]
+    cols = rows.col[idx]
+    rws = rows.row[idx]
+    d = delta[idx]
+    positive = a[idx] > 0
+    adjustment = np.where(
+        positive, (a[idx] - d) * upper[cols], (a[idx] + d) * lower[cols]
+    )
+    rhs[rws] -= adjustment
+    rows.data[idx] = np.where(positive, d, -d)
+    return int(idx.size)
+
+
 def _round_integer_bounds(
     lower: np.ndarray, upper: np.ndarray, integer_mask: np.ndarray | None
 ) -> None:
@@ -268,6 +324,7 @@ class Postsolve:
     _node_rows: "tuple[_Rows, _Rows] | None" = field(
         default=None, repr=False, compare=False
     )
+    _cutoff_rows: "_Rows | None" = field(default=None, repr=False, compare=False)
 
     # -- pickling -----------------------------------------------------------------
 
@@ -275,17 +332,20 @@ class Postsolve:
         """Ship the record without its lazily-built per-node row views.
 
         ``_node_rows`` caches triplet/activity scratch arrays for node-bound
-        propagation; it is derived state, rebuilt on first use in the
-        receiving process (the reduced form's own caches are dropped by
+        propagation and ``_cutoff_rows`` the objective row used for incumbent
+        cutoff reductions; both are derived state, rebuilt on first use in
+        the receiving process (the reduced form's own caches are dropped by
         :meth:`MatrixForm.__getstate__`).
         """
         state = self.__dict__.copy()
         state["_node_rows"] = None
+        state["_cutoff_rows"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._node_rows = None
+        self._cutoff_rows = None
 
     # -- solutions ----------------------------------------------------------------
 
@@ -309,7 +369,11 @@ class Postsolve:
     # -- bounds (per branch-and-bound node) ---------------------------------------
 
     def reduce_bounds(
-        self, lower: np.ndarray, upper: np.ndarray, propagate: bool = True
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        propagate: bool = True,
+        objective_cutoff_min: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Project original-space node bounds into the reduced space.
 
@@ -320,28 +384,49 @@ class Postsolve:
         variables through the reduced rows — the cheap version of "re-presolve
         the node".  Crossed bounds are returned as-is; the LP solver reports
         them as infeasible.
+
+        ``objective_cutoff_min`` optionally supplies an incumbent-derived
+        bound on the *reduced, minimisation-sense* objective: any solution
+        worth keeping satisfies ``c_reduced @ x <= cutoff``, so that row is
+        propagated like one more ``<=`` constraint — the classic dual
+        reduction that fixes non-improving variables as the incumbent
+        improves.  Callers must leave enough slack on the cutoff to keep
+        equal-objective optima (branch-and-bound adds a relative epsilon).
         """
         reduced_l = np.maximum(self.tightened_lower, lower[self.kept_cols])
         reduced_u = np.minimum(self.tightened_upper, upper[self.kept_cols])
-        if not propagate or self.identity:
-            return reduced_l, reduced_u
-        changed = (reduced_l != self.tightened_lower) | (reduced_u != self.tightened_upper)
-        if not changed.any():
-            return reduced_l, reduced_u
-        if self._node_rows is None:
-            self._node_rows = (
-                _Rows(self.reduced_form.a_ub),
-                _Rows(self.reduced_form.a_eq),
+        if propagate and not self.identity:
+            changed = (reduced_l != self.tightened_lower) | (reduced_u != self.tightened_upper)
+            if changed.any():
+                if self._node_rows is None:
+                    self._node_rows = (
+                        _Rows(self.reduced_form.a_ub),
+                        _Rows(self.reduced_form.a_eq),
+                    )
+                ub_rows, eq_rows = self._node_rows
+                all_ub = np.ones(ub_rows.num_rows, dtype=bool)
+                all_eq = np.ones(eq_rows.num_rows, dtype=bool)
+                ub_rows.compute_activities(reduced_l, reduced_u)
+                _propagate_le(ub_rows, self.reduced_form.b_ub, all_ub, reduced_l, reduced_u)
+                eq_rows.compute_activities(reduced_l, reduced_u)
+                _propagate_le(eq_rows, self.reduced_form.b_eq, all_eq, reduced_l, reduced_u)
+                _propagate_ge(eq_rows, self.reduced_form.b_eq, all_eq, reduced_l, reduced_u)
+                _round_integer_bounds(reduced_l, reduced_u, self.integer_mask)
+        if objective_cutoff_min is not None and np.isfinite(objective_cutoff_min):
+            if self._cutoff_rows is None:
+                self._cutoff_rows = _Rows(
+                    np.asarray(self.reduced_form.c, dtype=np.float64).reshape(1, -1)
+                )
+            cutoff_row = self._cutoff_rows
+            cutoff_row.compute_activities(reduced_l, reduced_u)
+            _propagate_le(
+                cutoff_row,
+                np.array([objective_cutoff_min]),
+                np.ones(1, dtype=bool),
+                reduced_l,
+                reduced_u,
             )
-        ub_rows, eq_rows = self._node_rows
-        all_ub = np.ones(ub_rows.num_rows, dtype=bool)
-        all_eq = np.ones(eq_rows.num_rows, dtype=bool)
-        ub_rows.compute_activities(reduced_l, reduced_u)
-        _propagate_le(ub_rows, self.reduced_form.b_ub, all_ub, reduced_l, reduced_u)
-        eq_rows.compute_activities(reduced_l, reduced_u)
-        _propagate_le(eq_rows, self.reduced_form.b_eq, all_eq, reduced_l, reduced_u)
-        _propagate_ge(eq_rows, self.reduced_form.b_eq, all_eq, reduced_l, reduced_u)
-        _round_integer_bounds(reduced_l, reduced_u, self.integer_mask)
+            _round_integer_bounds(reduced_l, reduced_u, self.integer_mask)
         return reduced_l, reduced_u
 
     # -- bases --------------------------------------------------------------------
@@ -557,7 +642,9 @@ def presolve_form(
 
     ub_rows = _Rows(form.a_ub)
     eq_rows = _Rows(form.a_eq)
-    b_ub = np.asarray(form.b_ub, dtype=np.float64).reshape(-1)
+    # Coefficient tightening mutates the <= triplets and right-hand sides;
+    # copy so the caller's form stays untouched (asarray may alias it).
+    b_ub = np.array(form.b_ub, dtype=np.float64).reshape(-1)
     b_eq = np.asarray(form.b_eq, dtype=np.float64).reshape(-1)
     active_ub = np.ones(mu, dtype=bool)
     active_eq = np.ones(me, dtype=bool)
@@ -584,6 +671,14 @@ def presolve_form(
         if redundant.any():
             active_ub[redundant] = False
         tightened += _propagate_le(ub_rows, b_ub, active_ub, lower, upper)
+        # Pass-start activities are valid (possibly loose) bounds for the
+        # tightening surplus even after the propagation above moved bounds.
+        coeffs = _tighten_row_coefficients(
+            ub_rows, b_ub, active_ub, lower, upper, integer_mask
+        )
+        if coeffs:
+            stats.coefficients_tightened += coeffs
+            ub_tol = _row_tolerance(b_ub)
 
         eq_rows.compute_activities(lower, upper)
         if np.any(active_eq & (eq_rows.min_act > b_eq + eq_tol)):
@@ -602,7 +697,7 @@ def presolve_form(
         if np.any(lower > upper + fix_tol):
             return infeasible()
         stats.bounds_tightened += tightened
-        if tightened == 0:
+        if tightened == 0 and coeffs == 0:
             break
 
     # One final activity refresh so the redundancy masks reflect the last pass.
@@ -624,8 +719,20 @@ def presolve_form(
     stats.vars_fixed = int(np.count_nonzero(fixed))
     stats.rows_removed = int(np.count_nonzero(~active_ub) + np.count_nonzero(~active_eq))
 
+    # Tightened coefficients need fresh constraint matrices, so that case
+    # always takes the general reduction path below.
+    a_ub_eff = form.a_ub
+    if stats.coefficients_tightened:
+        if sp.issparse(form.a_ub):
+            a_ub_eff = sp.csr_matrix(
+                sp.coo_matrix((ub_rows.data, (ub_rows.row, ub_rows.col)), shape=(mu, n))
+            )
+        else:
+            a_ub_eff = np.zeros((mu, n))
+            a_ub_eff[ub_rows.row, ub_rows.col] = ub_rows.data
+
     bounds_changed = bool(np.any(lower != orig_lower) or np.any(upper != orig_upper))
-    if stats.vars_fixed == 0 and stats.rows_removed == 0:
+    if stats.vars_fixed == 0 and stats.rows_removed == 0 and stats.coefficients_tightened == 0:
         stats.presolve_ms = (time.perf_counter() - started) * 1000.0
         if not bounds_changed:
             return _identity_result(form, stats)
@@ -651,9 +758,9 @@ def presolve_form(
         midpoints = np.where(integer_mask[fixed_idx], np.rint(midpoints), midpoints)
     fixed_values[fixed_idx] = midpoints
 
-    b_ub_reduced = b_ub[kept_ub] - _fixed_contribution(form.a_ub, kept_ub, fixed_values)
+    b_ub_reduced = b_ub[kept_ub] - _fixed_contribution(a_ub_eff, kept_ub, fixed_values)
     b_eq_reduced = b_eq[kept_eq] - _fixed_contribution(form.a_eq, kept_eq, fixed_values)
-    a_ub_reduced = _select_rows_cols(form.a_ub, kept_ub, kept_cols)
+    a_ub_reduced = _select_rows_cols(a_ub_eff, kept_ub, kept_cols)
     a_eq_reduced = _select_rows_cols(form.a_eq, kept_eq, kept_cols)
 
     reduced_lower = lower[kept_cols]

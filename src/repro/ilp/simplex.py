@@ -5,7 +5,7 @@ HiGHS backend.  Unlike the dense tableau method it replaced, it is built for
 the workload SKETCHREFINE and branch-and-bound actually generate: *many small
 LPs that differ from each other by a single variable bound*.
 
-Four design points make repeated solves cheap:
+Five design points make repeated solves cheap:
 
 * **Native bound handling.**  Per-variable lower/upper bounds are represented
   as nonbasic-at-bound statuses (``AT_LOWER`` / ``AT_UPPER``), not as extra
@@ -20,20 +20,40 @@ Four design points make repeated solves cheap:
   immutable copy instead of re-filling an ``m × (n + mu + m)`` array per node.
 * **Sparse column storage.**  When the model's matrix form is sparse, the
   working matrix is kept in CSC (``data``/``indices``/``indptr``): pricing is
-  a CSR transpose mat-vec, and FTRAN of the entering column touches only the
-  ``b_inv`` columns matching the structural non-zeros.  Dense models keep the
+  a CSR transpose mat-vec, and the partial-pricing candidate list gathers
+  reduced costs from pre-extracted column triplets.  Dense models keep the
   dense fast path — the representation follows the form's own storage choice.
-* **Basis export + dual-simplex reoptimisation.**  Every optimal solve
-  returns a :class:`SimplexBasis` which a later solve of a *related* problem
-  consumes as a warm start, re-entering through the dual simplex.  Invalid or
-  stale bases are detected (shape mismatch, singular basis matrix,
-  unrestorable dual feasibility) and fall back to a cold two-phase solve.
+* **LU-factorised basis.**  The basis is held as a
+  :class:`~repro.ilp.factor.BasisFactor` — LU factors (partial pivoting)
+  plus an eta file of pivot updates — and every solve against it goes through
+  FTRAN/BTRAN (:meth:`~repro.ilp.factor.BasisFactor.ftran` /
+  :meth:`~repro.ilp.factor.BasisFactor.btran` /
+  :meth:`~repro.ilp.factor.BasisFactor.btran_row`).  Pivots append an O(m)
+  eta instead of the dense O(m²) inverse update; refactorisation is periodic
+  (:data:`_REFACTOR_INTERVAL` etas) and stability-triggered (an untrustworthy
+  eta pivot forces a fresh factorisation).
+* **Basis export + dual-simplex reoptimisation over factors.**  Every optimal
+  solve returns a :class:`SimplexBasis` which a later solve of a *related*
+  problem consumes as a warm start, re-entering through the dual simplex.
+  The exported basis carries an O(eta) fork of the final factor, so a child
+  solve installs it without refactorising; a deterministic residual check
+  (``ftran(B @ 1) ≈ 1``) rejects stale factors, and invalid bases (shape
+  mismatch, singular basis matrix, unrestorable dual feasibility) fall back
+  to a cold two-phase solve.
+
+**Pricing ladder.**  :class:`PricingRule` selects the entering-variable rule:
+Dantzig (most negative reduced cost) for narrow forms, devex reference
+weights past :data:`_DEVEX_COLUMN_THRESHOLD` working columns (the ``AUTO``
+default resolves between the two), and exact steepest-edge as an opt-in.
+Past :data:`_PARTIAL_PRICING_THRESHOLD` columns a partial-pricing candidate
+list amortises the full ``v @ A`` sweep: most iterations price only a few
+hundred promising columns, and a full sweep runs only when the list runs dry
+(optimality is still only ever declared off a full sweep).  After a long run
+of degenerate pivots the solver switches to Bland's rule — always a full
+lowest-index sweep — to guarantee termination.
 
 The cold path is the classic two-phase method in revised form: phase 1
 minimises signed artificial infeasibilities, phase 2 the true objective.
-Dantzig pricing is used by default; after a long run of degenerate pivots the
-solver switches to Bland's rule to guarantee termination.  The basis inverse
-is maintained with product-form (eta) updates and refactorised periodically.
 
 The solver handles minimisation of ``c @ x`` subject to ``A_ub x <= b_ub``,
 ``A_eq x = b_eq`` and per-variable bounds (``None``/``inf`` meaning
@@ -43,20 +63,34 @@ unbounded).  Large problems should still use the HiGHS backend.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import sparse as sp
 
+from repro.ilp.factor import BasisFactor
 from repro.ilp.matrix_form import MatrixForm
 
 _EPSILON = 1e-9
 _PIVOT_EPSILON = 1e-10
 _FEASIBILITY_TOLERANCE = 1e-7
 _RATIO_TIE_TOLERANCE = 1e-10
+#: Maximum eta-file length before a periodic refactorisation.
 _REFACTOR_INTERVAL = 60
 _MAX_ITERATIONS_FACTOR = 50
 _DEGENERATE_STREAK_LIMIT = 50
+
+#: AUTO pricing resolves to devex at or past this many working columns.
+_DEVEX_COLUMN_THRESHOLD = 2000
+#: Partial pricing (candidate list) activates at or past this many columns.
+_PARTIAL_PRICING_THRESHOLD = 4096
+#: Devex reference weights above this trigger a framework reset.
+_DEVEX_WEIGHT_RESET = 1e7
+#: How many top-|d| candidates exact steepest-edge FTRANs per iteration.
+_STEEPEST_EDGE_PROBES = 8
+#: Bases of larger dimension export without a factor fork (the LU alone is
+#: m² floats; past this the warm path refactorises instead of carrying it).
+_FACTOR_EXPORT_LIMIT = 512
 
 # Per-column statuses.  BASIC columns are listed in ``SimplexBasis.basic``;
 # nonbasic columns sit at one of their (finite) bounds, or at zero when FREE.
@@ -73,10 +107,27 @@ class SimplexStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
-    #: The basis inverse went singular / non-finite and refactorisation could
-    #: not repair it.  Distinct from ITERATION_LIMIT so callers retry cold
-    #: instead of treating the solve as a genuine pivot-budget exhaustion.
+    #: The factorised basis went singular / non-finite and refactorisation
+    #: could not repair it.  Distinct from ITERATION_LIMIT so callers retry
+    #: cold instead of treating the solve as a genuine pivot-budget exhaustion.
     NUMERICAL_ERROR = "numerical_error"
+
+
+class PricingRule(enum.Enum):
+    """Entering-variable pricing rule for the primal simplex.
+
+    ``AUTO`` (the default everywhere) resolves per instance: Dantzig below
+    :data:`_DEVEX_COLUMN_THRESHOLD` working columns, devex at or above it.
+    ``STEEPEST_EDGE`` prices exact steepest-edge ratios over the top
+    reduced-cost candidates — the strongest rule per pivot, paying one FTRAN
+    per probed candidate.  Bland's anti-cycling rule is not a member: it is a
+    termination fallback layered under every rule, never a configuration.
+    """
+
+    AUTO = "auto"
+    DANTZIG = "dantzig"
+    DEVEX = "devex"
+    STEEPEST_EDGE = "steepest_edge"
 
 
 @dataclass
@@ -89,6 +140,13 @@ class SimplexBasis:
     is only meaningful for a problem with the same constraint matrix shape;
     :meth:`matches` performs that cheap signature check and consumers fall
     back to a cold solve when it fails.
+
+    ``_factor`` optionally carries a fork of the exporting solve's
+    :class:`~repro.ilp.factor.BasisFactor` so a warm start in the same
+    process skips the O(m³) refactorisation.  It is process-local, derived
+    state: pickling drops it (the receiving solve refactorises from
+    ``basic``), and installers re-verify it against their own matrix before
+    trusting it.
     """
 
     basic: np.ndarray
@@ -96,6 +154,7 @@ class SimplexBasis:
     num_structural: int
     num_ub: int
     num_eq: int
+    _factor: BasisFactor | None = field(default=None, repr=False, compare=False)
 
     def matches(self, num_structural: int, num_ub: int, num_eq: int) -> bool:
         """Whether this basis was exported from a problem of the given shape."""
@@ -104,6 +163,16 @@ class SimplexBasis:
             and self.num_ub == num_ub
             and self.num_eq == num_eq
         )
+
+    def __getstate__(self) -> dict:
+        """Ship the basis without its process-local factor fork.
+
+        The LU/eta arrays are cheap to rebuild (one factorisation) and must
+        never cross the worker-pool boundary inside a pickled SolveTask.
+        """
+        state = dict(self.__dict__)
+        state["_factor"] = None
+        return state
 
 
 @dataclass
@@ -118,6 +187,12 @@ class SimplexResult:
         iterations: Total simplex pivots/flips performed (all phases).
         warm_started: Whether the supplied warm-start basis was actually used
             (False when it was rejected and the solver fell back to cold).
+        refactorizations: Fresh LU factorisations computed during the solve
+            (periodic, stability-triggered and install-time ones alike).
+        eta_peak: Longest eta file reached between refactorisations.
+        pricing: Resolved pricing rule that drove the solve (``"devex"``,
+            ``"dantzig"``, ...), with ``"+bland"`` appended when the
+            anti-cycling fallback engaged at least once.
     """
 
     status: SimplexStatus
@@ -126,6 +201,9 @@ class SimplexResult:
     basis: SimplexBasis | None = None
     iterations: int = 0
     warm_started: bool = False
+    refactorizations: int = 0
+    eta_peak: int = 0
+    pricing: str = ""
 
 
 class _WorkMatrix:
@@ -215,6 +293,7 @@ def solve_dense_simplex(
     b_eq: np.ndarray,
     bounds,
     warm_start: SimplexBasis | None = None,
+    pricing: PricingRule = PricingRule.AUTO,
 ) -> SimplexResult:
     """Minimise ``c @ x`` subject to the given constraints and bounds.
 
@@ -226,11 +305,13 @@ def solve_dense_simplex(
     :func:`solve_form_simplex`, which assembles the working matrix only once.
     """
     work = _WorkMatrix(c, a_ub, b_ub, a_eq, b_eq)
-    return _BoundedRevisedSimplex(work, bounds).solve(warm_start)
+    return _BoundedRevisedSimplex(work, bounds, pricing).solve(warm_start)
 
 
 def solve_form_simplex(
-    form: MatrixForm, warm_start: SimplexBasis | None = None
+    form: MatrixForm,
+    warm_start: SimplexBasis | None = None,
+    pricing: PricingRule = PricingRule.AUTO,
 ) -> SimplexResult:
     """Solve a :class:`MatrixForm` LP, reusing its cached working matrix.
 
@@ -243,7 +324,7 @@ def solve_form_simplex(
     if work is None:
         work = _WorkMatrix(form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq)
         form.cache[_WORK_CACHE_KEY] = work
-    return _BoundedRevisedSimplex(work, form.bounds).solve(warm_start)
+    return _BoundedRevisedSimplex(work, form.bounds, pricing).solve(warm_start)
 
 
 def _normalise_bounds(bounds, n: int) -> tuple[np.ndarray, np.ndarray]:
@@ -270,10 +351,10 @@ class _BoundedRevisedSimplex:
     ``mu`` slack columns (bounds ``[0, inf)``) and ``m = mu + me`` artificial
     identity columns (bounds ``[0, 0]`` except while phase 1 relaxes them).
     The working matrix is shared and immutable; everything mutable (bounds,
-    statuses, basis inverse) is per-solve state.
+    statuses, basis factor, pricing state) is per-solve state.
     """
 
-    def __init__(self, work: _WorkMatrix, bounds):
+    def __init__(self, work: _WorkMatrix, bounds, pricing: PricingRule = PricingRule.AUTO):
         self.work = work
         self.n, self.mu, self.me = work.n, work.mu, work.me
         self.m, self.ncols, self.art0 = work.m, work.ncols, work.art0
@@ -294,17 +375,34 @@ class _BoundedRevisedSimplex:
 
         self.basis = np.empty(0, dtype=np.int64)
         self.status = np.full(self.ncols, AT_LOWER, dtype=np.int8)
-        self.b_inv = np.eye(self.m)
+        self.factor = BasisFactor.identity(self.m)
         self.xb = np.zeros(self.m)
         self.iterations = 0
+        self.refactorizations = 0
+        self.eta_peak = 0
         self._bland = False
+        self._bland_used = False
         self._degenerate_streak = 0
-        self._pivots_since_refactor = 0
         self._numerical_failure = False
 
+        if pricing is PricingRule.AUTO:
+            pricing = (
+                PricingRule.DEVEX
+                if self.ncols >= _DEVEX_COLUMN_THRESHOLD
+                else PricingRule.DANTZIG
+            )
+        self.pricing = pricing
+        self._devex_weights = (
+            np.ones(self.ncols) if pricing is PricingRule.DEVEX else None
+        )
+        self._partial = self.ncols >= _PARTIAL_PRICING_THRESHOLD
+        self._cand: np.ndarray | None = None
+        self._cand_gather: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._cand_target = max(64, min(1024, self.ncols // 32))
+
     # -- working-matrix access ----------------------------------------------------
-    # The four helpers below are the only places that touch the constraint
-    # matrix, branching once on its storage kind.
+    # The helpers below are the only places that touch the constraint matrix,
+    # branching once on its storage kind.
 
     def _vecmat(self, v: np.ndarray) -> np.ndarray:
         """``v @ A`` over all working columns (pricing / dual row computation)."""
@@ -318,15 +416,18 @@ class _BoundedRevisedSimplex:
             return self.work.a_csc @ x
         return self.work.a @ x
 
-    def _ftran(self, j: int) -> np.ndarray:
-        """``B^-1 a_j`` — sparse FTRAN touches only the column's non-zeros."""
+    def _column(self, j: int) -> np.ndarray:
+        """Column ``j`` of the working matrix as a dense vector."""
         if self.work.sparse:
+            col = np.zeros(self.m)
             start, end = self.work.indptr[j], self.work.indptr[j + 1]
-            rows = self.work.indices[start:end]
-            if rows.size == 0:
-                return np.zeros(self.m)
-            return self.b_inv[:, rows] @ self.work.data[start:end]
-        return self.b_inv @ self.work.a[:, j]
+            col[self.work.indices[start:end]] = self.work.data[start:end]
+            return col
+        return self.work.a[:, j]
+
+    def _ftran(self, j: int) -> np.ndarray:
+        """``B^-1 a_j`` via the factorised basis."""
+        return self.factor.ftran(self._column(j))
 
     def _basis_matrix(self) -> np.ndarray:
         """Dense copy of the current basis columns (for refactorisation)."""
@@ -349,7 +450,10 @@ class _BoundedRevisedSimplex:
             self._bland = False
             self._degenerate_streak = 0
             self._numerical_failure = False
-            self._pivots_since_refactor = 0
+            self._cand = None
+            self._cand_gather = None
+            if self._devex_weights is not None:
+                self._devex_weights.fill(1.0)
         return self._cold_solve()
 
     # -- cold path ----------------------------------------------------------------
@@ -375,7 +479,8 @@ class _BoundedRevisedSimplex:
         self.status = status
         self.lower[self.art0 :] = 0.0
         self.upper[self.art0 :] = 0.0
-        self.b_inv = np.eye(self.m)
+        # The all-artificial basis matrix is the identity: no LU needed.
+        self.factor = BasisFactor.identity(self.m)
         self._compute_xb()
 
     def _phase1(self) -> SimplexStatus:
@@ -409,7 +514,15 @@ class _BoundedRevisedSimplex:
     # -- warm path -----------------------------------------------------------------
 
     def _try_install(self, warm: SimplexBasis) -> bool:
-        """Validate and install a warm-start basis; False → caller goes cold."""
+        """Validate and install a warm-start basis; False → caller goes cold.
+
+        When the exported basis carries a factor fork, it is installed
+        directly — the O(m³) refactorisation is skipped — but the residual
+        check below *always* runs: a fork may have been exported against a
+        same-shape form with different coefficients (SketchRefine retries a
+        group against a rebuilt model), and a stale factor would silently
+        corrupt every FTRAN after it.
+        """
         if not isinstance(warm, SimplexBasis) or not warm.matches(self.n, self.mu, self.me):
             return False
         basic = np.asarray(warm.basic, dtype=np.int64)
@@ -425,12 +538,23 @@ class _BoundedRevisedSimplex:
 
         self.basis = basic.copy()
         self.status = status
-        if not self._refactorize():
+        donor = warm._factor
+        forked = (
+            donor is not None
+            and donor.matches(self.m)
+            and donor.eta_count < _REFACTOR_INTERVAL
+        )
+        if forked:
+            self.factor = donor.fork()
+        elif not self._refactorize():
             return False
-        if self.m and not np.allclose(
-            self.b_inv @ self._basis_matrix(), np.eye(self.m), atol=1e-6
-        ):
-            return False
+        if not self._factor_consistent():
+            # Stale carried factor (or a genuinely singular basis): retry from
+            # a fresh factorisation exactly once before rejecting the basis.
+            if not forked:
+                return False
+            if not self._refactorize() or not self._factor_consistent():
+                return False
 
         # Re-anchor nonbasic columns whose recorded bound is infinite under the
         # current bounds (the caller may have relaxed a bound since export).
@@ -449,7 +573,7 @@ class _BoundedRevisedSimplex:
         # Restore dual feasibility with bound flips where a reduced cost has
         # the wrong sign; an unflippable column (infinite opposite bound) means
         # the basis cannot seed the dual simplex — reject it.
-        y = self.costs[self.basis] @ self.b_inv
+        y = self.factor.btran(self.costs[self.basis])
         d = self.costs - self._vecmat(y)
         movable = (status != BASIC) & (self.lower != self.upper)
         flip_to_upper = movable & (status == AT_LOWER) & (d < -_EPSILON)
@@ -464,6 +588,22 @@ class _BoundedRevisedSimplex:
         self._compute_xb()
         return True
 
+    def _factor_consistent(self) -> bool:
+        """Deterministic residual check: ``ftran(B @ 1)`` must return ones.
+
+        Catches factors exported against a different-coefficient matrix, a
+        wrong column order, and singular bases — without materialising
+        ``B⁻¹ B`` (the O(m³) check the dense-inverse implementation paid).
+        """
+        if self.m == 0:
+            return True
+        indicator = np.zeros(self.ncols)
+        indicator[self.basis] = 1.0
+        residual = self.factor.ftran(self._matvec(indicator)) - 1.0
+        if not np.all(np.isfinite(residual)):
+            return False
+        return float(np.abs(residual).max()) <= 1e-6
+
     def _reoptimize(self) -> SimplexStatus:
         """Dual simplex to primal feasibility, then primal clean-up."""
         status = self._dual(self.costs)
@@ -477,10 +617,9 @@ class _BoundedRevisedSimplex:
         max_iterations = _MAX_ITERATIONS_FACTOR * (self.m + self.ncols + 1)
         for _ in range(max_iterations):
             self.iterations += 1
-            y = costs[self.basis] @ self.b_inv
-            d = costs - self._vecmat(y)
+            y = self.factor.btran(costs[self.basis])
 
-            entering, direction = self._choose_entering(d)
+            entering, direction = self._price(costs, y)
             if entering is None:
                 return SimplexStatus.OPTIMAL
 
@@ -506,6 +645,9 @@ class _BoundedRevisedSimplex:
             else:
                 start = 0.0
             leaving = self.basis[limit_row]
+            # Devex weights need the pre-pivot basis (BTRAN of the pivot row),
+            # so update them before the factor advances.
+            self._update_devex(entering, leaving, limit_row, w)
             self.xb -= w * (direction * step)
             refactored = self._apply_pivot(limit_row, entering, w)
             self.status[leaving] = leave_to
@@ -518,20 +660,169 @@ class _BoundedRevisedSimplex:
             self._note_step(step)
         return SimplexStatus.ITERATION_LIMIT
 
-    def _choose_entering(self, d: np.ndarray) -> tuple[int | None, int]:
+    # -- pricing ------------------------------------------------------------------
+
+    def _price(self, costs: np.ndarray, y: np.ndarray) -> tuple[int | None, int]:
+        """Choose the entering column; ``(None, 0)`` means price-optimal.
+
+        Bland mode always prices the full column range (its termination
+        guarantee needs the global lowest eligible index).  Partial mode
+        prices the candidate list and falls back to a full sweep — which also
+        rebuilds the list — only when the list has no eligible column left;
+        optimality is only ever declared off a full sweep.
+        """
+        if self._bland:
+            d = costs - self._vecmat(y)
+            eligible = self._eligible_columns(d)
+            if eligible.size == 0:
+                return None, 0
+            j = int(eligible[0])
+            return j, (1 if d[j] < 0 else -1)
+        if self._partial:
+            cand = self._cand
+            if cand is not None and cand.size:
+                d_cand = costs[cand] - self._gather_dot(y)
+                mask = self._eligible_mask(cand, d_cand)
+                if mask.any():
+                    return self._select(cand[mask], d_cand[mask])
+            d = costs - self._vecmat(y)
+            return self._rebuild_candidates(d)
+        d = costs - self._vecmat(y)
+        eligible = self._eligible_columns(d)
+        if eligible.size == 0:
+            return None, 0
+        return self._select(eligible, d[eligible])
+
+    def _eligible_columns(self, d: np.ndarray) -> np.ndarray:
+        """Indices of columns whose reduced cost permits an improving move."""
         movable = self.lower < self.upper
         at_lower = (self.status == AT_LOWER) & movable & (d < -_EPSILON)
         at_upper = (self.status == AT_UPPER) & movable & (d > _EPSILON)
         free = (self.status == FREE) & (np.abs(d) > _EPSILON)
-        eligible = np.nonzero(at_lower | at_upper | free)[0]
-        if eligible.size == 0:
-            return None, 0
-        if self._bland:
-            j = int(eligible[0])
+        return np.nonzero(at_lower | at_upper | free)[0]
+
+    def _eligible_mask(self, cols: np.ndarray, d_cols: np.ndarray) -> np.ndarray:
+        """Eligibility of a column subset, given their reduced costs."""
+        status = self.status[cols]
+        movable = self.lower[cols] < self.upper[cols]
+        at_lower = (status == AT_LOWER) & movable & (d_cols < -_EPSILON)
+        at_upper = (status == AT_UPPER) & movable & (d_cols > _EPSILON)
+        free = (status == FREE) & (np.abs(d_cols) > _EPSILON)
+        return at_lower | at_upper | free
+
+    def _select(self, cols: np.ndarray, d_cols: np.ndarray) -> tuple[int, int]:
+        """Apply the active pricing rule over eligible columns ``cols``."""
+        if self.pricing is PricingRule.DEVEX:
+            scores = d_cols * d_cols / self._devex_weights[cols]
+            k = int(np.argmax(scores))
+        elif self.pricing is PricingRule.STEEPEST_EDGE:
+            k = self._steepest_probe(cols, d_cols)
         else:
-            j = int(eligible[np.argmax(np.abs(d[eligible]))])
-        direction = 1 if d[j] < 0 else -1
-        return j, direction
+            k = int(np.argmax(np.abs(d_cols)))
+        j = int(cols[k])
+        return j, (1 if d_cols[k] < 0 else -1)
+
+    def _steepest_probe(self, cols: np.ndarray, d_cols: np.ndarray) -> int:
+        """Exact steepest-edge over the top-|d| candidates (one FTRAN each)."""
+        probes = min(_STEEPEST_EDGE_PROBES, int(cols.size))
+        order = np.argsort(-np.abs(d_cols), kind="stable")[:probes]
+        best_k = int(order[0])
+        best_score = -np.inf
+        for k in order:
+            w_j = self._ftran(int(cols[k]))
+            gamma = 1.0 + float(w_j @ w_j)
+            score = float(d_cols[k] * d_cols[k]) / gamma
+            if score > best_score:
+                best_score = score
+                best_k = int(k)
+        return best_k
+
+    def _rebuild_candidates(self, d: np.ndarray) -> tuple[int | None, int]:
+        """Full-sweep price: select globally and refill the candidate list."""
+        eligible = self._eligible_columns(d)
+        if eligible.size == 0:
+            self._cand = None
+            self._cand_gather = None
+            return None, 0
+        d_eligible = d[eligible]
+        if self.pricing is PricingRule.DEVEX:
+            scores = d_eligible * d_eligible / self._devex_weights[eligible]
+        else:
+            scores = np.abs(d_eligible)
+        if eligible.size > self._cand_target:
+            top = np.argpartition(-scores, self._cand_target - 1)[: self._cand_target]
+            self._set_candidates(np.sort(eligible[top]))
+        else:
+            self._set_candidates(eligible)
+        return self._select(eligible, d_eligible)
+
+    def _set_candidates(self, cand: np.ndarray) -> None:
+        """Store the candidate list and pre-extract its column triplets."""
+        self._cand = cand
+        if not self.work.sparse:
+            self._cand_gather = None
+            return
+        indptr = self.work.indptr
+        starts = indptr[cand]
+        lens = indptr[cand + 1] - starts
+        total = int(lens.sum())
+        before = np.cumsum(lens) - lens
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(before, lens)
+            + np.repeat(starts, lens)
+        )
+        seg = np.repeat(np.arange(cand.size, dtype=np.int64), lens)
+        self._cand_gather = (self.work.indices[flat], self.work.data[flat], seg)
+
+    def _gather_dot(self, y: np.ndarray) -> np.ndarray:
+        """``y @ A`` restricted to the candidate columns (O(their nnz))."""
+        cand = self._cand
+        if not self.work.sparse:
+            return y @ self.work.a[:, cand]
+        rows, vals, seg = self._cand_gather
+        return np.bincount(seg, weights=y[rows] * vals, minlength=cand.size)
+
+    def _update_devex(
+        self,
+        entering: int,
+        leaving: int,
+        row: int,
+        w: np.ndarray,
+        alpha: np.ndarray | None = None,
+    ) -> None:
+        """Devex reference-weight update for the pivot (entering at ``row``).
+
+        ``alpha`` optionally supplies the already-computed pivot row over all
+        working columns (the dual simplex has it for free); otherwise the row
+        is BTRAN'd and — under partial pricing — only the candidate columns'
+        weights are refreshed, keeping the update O(candidate nnz).
+        """
+        weights = self._devex_weights
+        if weights is None:
+            return
+        pivot = float(w[row])
+        if abs(pivot) < _PIVOT_EPSILON:
+            return
+        ref_weight = max(float(weights[entering]), 1.0)
+        cols: np.ndarray | None = None
+        if alpha is None:
+            rho = self.factor.btran_row(row)
+            if self._partial and self._cand is not None and self._cand.size:
+                cols = self._cand
+                alpha = self._gather_dot(rho)
+            else:
+                alpha = self._vecmat(rho)
+        ratio = alpha / pivot
+        candidate_weights = ratio * ratio * ref_weight
+        if cols is None:
+            np.maximum(weights, candidate_weights, out=weights)
+        else:
+            weights[cols] = np.maximum(weights[cols], candidate_weights)
+        weights[leaving] = max(ref_weight / (pivot * pivot), 1.0)
+        if float(weights.max()) > _DEVEX_WEIGHT_RESET:
+            # Reference framework reset: restart from unit weights.
+            weights.fill(1.0)
 
     def _primal_ratio_test(
         self, entering: int, direction: int, w: np.ndarray
@@ -591,8 +882,8 @@ class _BoundedRevisedSimplex:
                 r = int(np.argmax(violation))
             leaving_below = below[r] > above[r]
 
-            alpha = self._vecmat(self.b_inv[r])
-            y = costs[self.basis] @ self.b_inv
+            alpha = self._vecmat(self.factor.btran_row(r))
+            y = self.factor.btran(costs[self.basis])
             d = costs - self._vecmat(y)
 
             movable = self.lower < self.upper
@@ -624,7 +915,7 @@ class _BoundedRevisedSimplex:
 
             w = self._ftran(q)
             if abs(w[r]) < _PIVOT_EPSILON:
-                # The eta-updated inverse disagrees with the priced row; rebuild
+                # The eta-updated factor disagrees with the priced row; rebuild
                 # it once and let the caller fall back if that does not help.
                 if not self._refactorize():
                     return SimplexStatus.NUMERICAL_ERROR
@@ -646,6 +937,9 @@ class _BoundedRevisedSimplex:
             else:
                 entering_start = 0.0
             leaving = self.basis[r]
+            # The dual iteration already priced the full pivot row, so the
+            # devex update is a free ride on ``alpha``.
+            self._update_devex(q, leaving, r, w, alpha=alpha)
             self.xb -= w * entering_step
             refactored = self._apply_pivot(r, q, w)
             self.status[leaving] = AT_LOWER if leaving_below else AT_UPPER
@@ -663,36 +957,31 @@ class _BoundedRevisedSimplex:
     def _apply_pivot(self, row: int, entering: int, w: np.ndarray) -> bool:
         """Swap ``entering`` into the basis at ``row``; True if refactorised.
 
-        A failed refactorisation (singular or non-finite inverse) raises the
-        ``_numerical_failure`` flag so the driving loop can bail out with
-        NUMERICAL_ERROR instead of iterating on a corrupt inverse.
+        The factor normally absorbs the pivot as one O(m) eta.  It refuses
+        numerically untrustworthy pivots (stability trigger) and the eta file
+        is bounded by :data:`_REFACTOR_INTERVAL` (periodic trigger); either
+        way a fresh LU is computed, and a failed refactorisation (singular or
+        non-finite basis) raises the ``_numerical_failure`` flag so the
+        driving loop bails out with NUMERICAL_ERROR instead of iterating on a
+        corrupt factor.
         """
         self.basis[row] = entering
         self.status[entering] = BASIC
-        pivot = w[row]
-        self.b_inv[row] = self.b_inv[row] / pivot
-        scale = w.copy()
-        scale[row] = 0.0
-        self.b_inv -= np.outer(scale, self.b_inv[row])
-        self._pivots_since_refactor += 1
-        if self._pivots_since_refactor >= _REFACTOR_INTERVAL:
+        updated = self.factor.update(row, w)
+        if updated:
+            self.eta_peak = max(self.eta_peak, self.factor.eta_count)
+        if not updated or self.factor.eta_count >= _REFACTOR_INTERVAL:
             if not self._refactorize():
                 self._numerical_failure = True
             return True
         return False
 
     def _refactorize(self) -> bool:
-        if self.m == 0:
-            self.b_inv = np.eye(0)
-            self._pivots_since_refactor = 0
-            return True
-        try:
-            self.b_inv = np.linalg.inv(self._basis_matrix())
-        except np.linalg.LinAlgError:
+        factor = BasisFactor.factorize(self._basis_matrix())
+        if factor is None:
             return False
-        if not np.all(np.isfinite(self.b_inv)):
-            return False
-        self._pivots_since_refactor = 0
+        self.factor = factor
+        self.refactorizations += 1
         return True
 
     def _note_step(self, step: float) -> None:
@@ -703,6 +992,7 @@ class _BoundedRevisedSimplex:
             self._degenerate_streak += 1
             if self._degenerate_streak > _DEGENERATE_STREAK_LIMIT:
                 self._bland = True
+                self._bland_used = True
 
     def _nonbasic_values(self) -> np.ndarray:
         x = np.zeros(self.ncols)
@@ -714,21 +1004,28 @@ class _BoundedRevisedSimplex:
 
     def _compute_xb(self) -> None:
         x = self._nonbasic_values()
-        self.xb = self.b_inv @ (self.b - self._matvec(x))
+        self.xb = self.factor.ftran(self.b - self._matvec(x))
 
     def _full_solution(self) -> np.ndarray:
         x = self._nonbasic_values()
         x[self.basis] = self.xb
         return x
 
+    def _pricing_label(self) -> str:
+        label = self.pricing.value
+        if self._bland_used:
+            label += "+bland"
+        return label
+
     def _result(self, status: SimplexStatus, warm_started: bool = False) -> SimplexResult:
         if status is not SimplexStatus.OPTIMAL:
             return SimplexResult(
-                status, np.empty(0), float("nan"), None, self.iterations, warm_started
+                status, np.empty(0), float("nan"), None, self.iterations, warm_started,
+                self.refactorizations, self.eta_peak, self._pricing_label(),
             )
         x = self._full_solution()
         if not np.all(np.isfinite(x)):
-            # A corrupt basis inverse can only produce non-finite values; never
+            # A corrupt basis factor can only produce non-finite values; never
             # report that as OPTIMAL.
             return SimplexResult(
                 SimplexStatus.NUMERICAL_ERROR,
@@ -737,11 +1034,18 @@ class _BoundedRevisedSimplex:
                 None,
                 self.iterations,
                 warm_started,
+                self.refactorizations,
+                self.eta_peak,
+                self._pricing_label(),
             )
         objective = float(self.costs[: self.n] @ x[: self.n])
         basis = SimplexBasis(
             self.basis.copy(), self.status.copy(), self.n, self.mu, self.me
         )
+        if self.m and self.m <= _FACTOR_EXPORT_LIMIT:
+            # Warm-start protocol over factors: hand consumers an O(eta)
+            # snapshot so a related reoptimisation skips its refactorisation.
+            basis._factor = self.factor.fork()
         return SimplexResult(
             SimplexStatus.OPTIMAL,
             x[: self.n].copy(),
@@ -749,4 +1053,7 @@ class _BoundedRevisedSimplex:
             basis,
             self.iterations,
             warm_started,
+            self.refactorizations,
+            self.eta_peak,
+            self._pricing_label(),
         )

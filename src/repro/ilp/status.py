@@ -55,6 +55,15 @@ class SolveStats:
     disabled or achieved nothing); ``numerical_retries`` counts node LPs that
     came back :attr:`SolverStatus.NUMERICAL_ERROR` from a warm start and were
     retried cold.
+
+    The factorised-basis counters are SIMPLEX-only: ``refactorizations``
+    counts fresh LU factorisations summed over all LP solves, ``eta_peak`` is
+    the longest eta file any solve reached between refactorisations, and
+    ``pricing_rule`` records the resolved entering-variable rule (with
+    ``"+bland"`` appended when the anti-cycling fallback ever engaged).
+    ``objective_cutoffs`` counts branch-and-bound nodes whose presolve used
+    the incumbent objective as a dual bound; ``coefficients_tightened``
+    counts ``<=``-row coefficients strengthened against integral columns.
     """
 
     nodes_explored: int = 0
@@ -69,6 +78,11 @@ class SolveStats:
     rows_removed: int = 0
     presolve_ms: float = 0.0
     numerical_retries: int = 0
+    refactorizations: int = 0
+    eta_peak: int = 0
+    pricing_rule: str = ""
+    objective_cutoffs: int = 0
+    coefficients_tightened: int = 0
 
     @property
     def warm_start_rate(self) -> float:

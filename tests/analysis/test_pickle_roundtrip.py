@@ -33,7 +33,7 @@ from repro.ilp.model import (
 )
 from repro.ilp.matrix_form import MatrixForm
 from repro.ilp.presolve import Postsolve, presolve_form
-from repro.ilp.simplex import SimplexBasis
+from repro.ilp.simplex import SimplexBasis, solve_form_simplex
 from repro.ilp.status import Solution, SolveStats
 
 
@@ -126,6 +126,35 @@ def test_derived_caches_arrive_empty(payload_instances: dict[str, Any]) -> None:
 
     postsolve: Postsolve = pickle.loads(pickle.dumps(payload_instances["Postsolve"]))
     assert postsolve._node_rows is None
+    assert postsolve._cutoff_rows is None
+
+
+def test_basis_factor_drops_on_pickle(payload_instances: dict[str, Any]) -> None:
+    """An exported basis carries its factor fork locally but never pickles it."""
+    form: MatrixForm = payload_instances["MatrixForm"]
+    lp = solve_form_simplex(form)
+    assert lp.basis is not None
+    assert lp.basis._factor is not None, "small solve should export a factor fork"
+    restored: SimplexBasis = pickle.loads(pickle.dumps(lp.basis))
+    assert restored._factor is None
+    # The stripped basis still warm-starts: the installer refactorises from
+    # the basic index set instead of trusting a shipped factor.
+    warm = solve_form_simplex(form, warm_start=restored)
+    assert warm.warm_started
+    assert warm.objective == lp.objective
+
+
+def test_cutoff_rows_drop_on_pickle(payload_instances: dict[str, Any]) -> None:
+    """The lazily-built objective-cutoff row never ships with a Postsolve."""
+    postsolve: Postsolve = payload_instances["Postsolve"]
+    postsolve.reduce_bounds(
+        postsolve.orig_lower,
+        postsolve.orig_upper,
+        objective_cutoff_min=1e9,
+    )
+    assert postsolve._cutoff_rows is not None, "cutoff propagation should memoize its row"
+    restored: Postsolve = pickle.loads(pickle.dumps(postsolve))
+    assert restored._cutoff_rows is None
 
 
 def test_restored_model_solves_identically(payload_instances: dict[str, Any]) -> None:

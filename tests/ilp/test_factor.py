@@ -1,0 +1,184 @@
+"""Property tests for the LU-factorised basis (:mod:`repro.ilp.factor`).
+
+The invariants here are what lets the simplex trust FTRAN/BTRAN blindly:
+
+* on a freshly factorised basis, ``ftran``/``btran``/``btran_row`` agree with
+  the explicit inverse to 1e-9,
+* after ``k`` product-form pivot updates the eta-file solves still agree with
+  the explicit inverse of the *updated* basis matrix,
+* forks answer for the basis at fork time, unaffected by later updates on
+  either side, and
+* the degenerate-cycling regression: Beale's classic cycling example
+  terminates under devex pricing because the Bland fallback still engages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ilp.factor import BasisFactor
+from repro.ilp.simplex import (
+    PricingRule,
+    SimplexStatus,
+    solve_dense_simplex,
+)
+
+
+def _random_basis(rng: np.random.Generator, m: int) -> np.ndarray:
+    """A well-conditioned random ``m×m`` basis matrix (diagonally boosted)."""
+    matrix = rng.uniform(-1.0, 1.0, size=(m, m))
+    matrix += np.eye(m) * (1.0 + np.abs(matrix).sum(axis=1))
+    return matrix
+
+
+class TestFactorAgreesWithExplicitInverse:
+    @pytest.mark.parametrize("m", [1, 2, 5, 13, 40])
+    def test_ftran_btran_btran_row_match_inverse(self, m: int) -> None:
+        rng = np.random.default_rng(m)
+        for _ in range(5):
+            basis = _random_basis(rng, m)
+            inverse = np.linalg.inv(basis)
+            factor = BasisFactor.factorize(basis)
+            assert factor is not None
+            v = rng.uniform(-10.0, 10.0, size=m)
+            np.testing.assert_allclose(factor.ftran(v), inverse @ v, atol=1e-9)
+            np.testing.assert_allclose(factor.btran(v), v @ inverse, atol=1e-9)
+            for r in range(m):
+                np.testing.assert_allclose(
+                    factor.btran_row(r), inverse[r], atol=1e-9
+                )
+
+    def test_identity_factor_is_the_identity(self) -> None:
+        factor = BasisFactor.identity(6)
+        v = np.arange(6, dtype=np.float64)
+        np.testing.assert_allclose(factor.ftran(v), v)
+        np.testing.assert_allclose(factor.btran(v), v)
+        np.testing.assert_allclose(factor.btran_row(3), np.eye(6)[3])
+
+    def test_zero_dimension(self) -> None:
+        factor = BasisFactor.identity(0)
+        assert factor.ftran(np.zeros(0)).shape == (0,)
+        assert factor.btran(np.zeros(0)).shape == (0,)
+
+    @pytest.mark.filterwarnings("ignore::scipy.linalg.LinAlgWarning")
+    def test_singular_matrix_rejected(self) -> None:
+        singular = np.ones((3, 3))
+        assert BasisFactor.factorize(singular) is None
+
+    def test_non_finite_matrix_rejected(self) -> None:
+        bad = np.eye(3)
+        bad[1, 1] = np.nan
+        assert BasisFactor.factorize(bad) is None
+
+
+class TestEtaFileConsistency:
+    @pytest.mark.parametrize("m,k", [(4, 2), (8, 5), (20, 15), (30, 30)])
+    def test_solves_agree_after_k_pivots(self, m: int, k: int) -> None:
+        """After k product-form updates, the factor solves the updated basis."""
+        rng = np.random.default_rng(1000 * m + k)
+        basis_matrix = _random_basis(rng, m)
+        factor = BasisFactor.factorize(basis_matrix)
+        assert factor is not None
+
+        current = basis_matrix.copy()
+        applied = 0
+        while applied < k:
+            # A pivot replaces one basis column with a new entering column.
+            row = int(rng.integers(m))
+            column = rng.uniform(-5.0, 5.0, size=m)
+            column[row] += 10.0  # keep the pivot element trustworthy
+            w = factor.ftran(column)
+            if not factor.update(row, w):
+                continue
+            current[:, row] = column
+            applied += 1
+
+        assert factor.eta_count == k
+        inverse = np.linalg.inv(current)
+        v = rng.uniform(-10.0, 10.0, size=m)
+        np.testing.assert_allclose(factor.ftran(v), inverse @ v, atol=1e-7)
+        np.testing.assert_allclose(factor.btran(v), v @ inverse, atol=1e-7)
+        r = int(rng.integers(m))
+        np.testing.assert_allclose(factor.btran_row(r), inverse[r], atol=1e-7)
+
+    def test_update_refuses_tiny_pivot(self) -> None:
+        factor = BasisFactor.factorize(np.eye(3))
+        assert factor is not None
+        w = np.array([1.0, 1e-12, 0.5])
+        assert not factor.update(1, w)
+        assert factor.eta_count == 0
+
+    def test_fork_is_a_point_in_time_snapshot(self) -> None:
+        rng = np.random.default_rng(7)
+        m = 6
+        basis_matrix = _random_basis(rng, m)
+        factor = BasisFactor.factorize(basis_matrix)
+        assert factor is not None
+        column = rng.uniform(-2.0, 2.0, size=m)
+        column[2] += 10.0
+        assert factor.update(2, factor.ftran(column))
+
+        fork = factor.fork()
+        frozen = np.linalg.inv(
+            np.column_stack(
+                [basis_matrix[:, :2], column, basis_matrix[:, 3:]]
+            )
+        )
+        # Advancing the parent does not disturb the fork (and vice versa).
+        column2 = rng.uniform(-2.0, 2.0, size=m)
+        column2[4] += 10.0
+        assert factor.update(4, factor.ftran(column2))
+        v = rng.uniform(-1.0, 1.0, size=m)
+        np.testing.assert_allclose(fork.ftran(v), frozen @ v, atol=1e-9)
+        assert fork.eta_count == 1
+        assert factor.eta_count == 2
+
+
+class TestBlandUnderDevex:
+    def test_beale_cycling_example_terminates_under_devex(self) -> None:
+        """Beale's cycling LP must reach optimality with devex pricing.
+
+        Dantzig's rule cycles forever on this instance; the degenerate-streak
+        detector must hand over to Bland's rule regardless of the configured
+        pricing rule, and the solve must still finish at the true optimum.
+        """
+        c = np.array([-0.75, 150.0, -0.02, 6.0])
+        a_ub = np.array(
+            [
+                [0.25, -60.0, -0.04, 9.0],
+                [0.5, -90.0, -0.02, 3.0],
+                [0.0, 0.0, 1.0, 0.0],
+            ]
+        )
+        b_ub = np.array([0.0, 0.0, 1.0])
+        bounds = [(0.0, None)] * 4
+        for rule in (PricingRule.DANTZIG, PricingRule.DEVEX, PricingRule.STEEPEST_EDGE):
+            result = solve_dense_simplex(
+                c, a_ub, b_ub, np.empty((0, 4)), np.empty(0), bounds, pricing=rule
+            )
+            assert result.status is SimplexStatus.OPTIMAL, rule
+            assert result.objective == pytest.approx(-0.05)
+
+    def test_pricing_rules_agree_on_random_lps(self) -> None:
+        """All pricing rules land on the same optimal objective."""
+        rng = np.random.default_rng(21)
+        for trial in range(8):
+            n, mu = 12, 6
+            c = rng.uniform(-5.0, 5.0, size=n)
+            a_ub = rng.uniform(-1.0, 2.0, size=(mu, n))
+            b_ub = rng.uniform(5.0, 20.0, size=mu)
+            bounds = [(0.0, float(u)) for u in rng.uniform(1.0, 10.0, size=n)]
+            objectives = {}
+            for rule in (
+                PricingRule.DANTZIG,
+                PricingRule.DEVEX,
+                PricingRule.STEEPEST_EDGE,
+            ):
+                result = solve_dense_simplex(
+                    c, a_ub, b_ub, np.empty((0, n)), np.empty(0), bounds, pricing=rule
+                )
+                assert result.status is SimplexStatus.OPTIMAL, (trial, rule)
+                objectives[rule] = result.objective
+            values = list(objectives.values())
+            assert max(values) - min(values) <= 1e-7 * max(1.0, abs(values[0]))

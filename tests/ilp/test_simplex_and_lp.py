@@ -248,11 +248,11 @@ class TestNumericalErrorStatus:
         real = bnb.solve_lp_form
         failed = []
 
-        def flaky(form, backend, warm_start=None, presolve=True):
+        def flaky(form, backend, warm_start=None, presolve=True, **kwargs):
             if warm_start is not None and not failed:
                 failed.append(True)
                 return LpResult(SolverStatus.NUMERICAL_ERROR, np.empty(0), float("nan"))
-            return real(form, backend, warm_start=warm_start, presolve=presolve)
+            return real(form, backend, warm_start=warm_start, presolve=presolve, **kwargs)
 
         monkeypatch.setattr(bnb, "solve_lp_form", flaky)
         solver = BranchAndBoundSolver(lp_backend=LpBackend.SIMPLEX)
