@@ -133,6 +133,12 @@ class PickleSafetyChecker(Checker):
             "Solution": [],
             "BranchAndBoundSolver": [],
             "SolverLimits": [],
+            # Durable-service payloads: WAL records cross the process
+            # boundary via the log file; snapshot handles ship pinned views
+            # to read-only workers (the live manager must stay home).
+            "WalRecord": [],
+            "PinnedTable": [],
+            "SnapshotHandle": ["_released"],
         },
         "cache_name_patterns": ["*cache*", "*memo*", "_work*", "_scratch*"],
     }

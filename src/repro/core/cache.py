@@ -171,6 +171,32 @@ class PackageCache:
         """The counters as a plain dict (for ``EvaluationResult.details``)."""
         return self.stats.as_dict()
 
+    def entries_snapshot(self) -> list[dict]:
+        """A comparable summary of every entry (LRU order, oldest first).
+
+        Used by the crash-recovery and differential suites to assert cache
+        *contents* — not just hit/miss counters — across scenarios: two
+        caches that went through equivalent histories must summarise
+        identically, and an entry surviving a recovery with the wrong
+        version anchor shows up here immediately.
+        """
+        return [
+            {
+                "fingerprint": entry.fingerprint,
+                "table_name": entry.table_name,
+                "method": entry.method,
+                "partitioning_label": entry.partitioning_label,
+                "table_version": entry.table_version,
+                "partitioning_version": entry.partitioning_version,
+                "multiplicities": dict(entry.multiplicities),
+                "groups": entry.groups,
+                "objective": entry.objective,
+                "feasible": entry.feasible,
+                "needs_revalidation": entry.needs_revalidation,
+            }
+            for entry in self._entries.values()
+        ]
+
     @staticmethod
     def _key(
         fingerprint: str, table_name: str, method: str, label: str | None

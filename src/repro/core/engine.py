@@ -57,7 +57,8 @@ from repro.core.sketchrefine import SketchRefineConfig, SketchRefineEvaluator
 from repro.core.validation import check_package, objective_value
 from repro.dataset.table import Table, TableDelta
 from repro.db.catalog import MAINTENANCE_POLICIES, Database, TableUpdateResult
-from repro.errors import CatalogError, EvaluationError, StalePartitioningError
+from repro.db.snapshot import SnapshotHandle
+from repro.errors import CatalogError, EvaluationError, SnapshotError, StalePartitioningError
 from repro.paql.ast import PackageQuery
 from repro.paql.fingerprint import query_fingerprint
 from repro.paql.parser import parse_paql
@@ -225,6 +226,19 @@ class PackageQueryEngine:
             delta = table.make_delta(insert=insert, delete=delete)
         return self.database.update_table(table_name, delta, policy=policy)
 
+    # -- snapshot reads -------------------------------------------------------------------
+
+    def snapshot(self, names: Iterable[str] | None = None) -> SnapshotHandle:
+        """Pin a consistent read view of the catalog's current committed state.
+
+        Queries executed with ``execute(..., snapshot=handle)`` keep seeing
+        exactly this moment's ``(table version, partitioning version)`` pairs
+        while :meth:`update_table` commits new versions underneath.  Release
+        the handle (or use it as a context manager) when done; pinned
+        versions are retained until then.
+        """
+        return self.database.snapshot(names)
+
     # -- query execution -----------------------------------------------------------------------
 
     def parse(self, text: str) -> PackageQuery:
@@ -238,6 +252,7 @@ class PackageQueryEngine:
         partitioning_label: str = "default",
         cache: str = "use",
         workers: int | None = None,
+        snapshot: SnapshotHandle | None = None,
     ) -> EvaluationResult:
         """Evaluate a package query and return the answer package with metadata.
 
@@ -263,6 +278,15 @@ class PackageQueryEngine:
                 seconds this call spared (0 unless it was served from the
                 cache), and — under ``"totals"`` — the cache's cumulative
                 counters.
+            snapshot: Execute against this pinned
+                :class:`~repro.db.snapshot.SnapshotHandle` instead of the
+                catalog's current state: the query sees exactly the
+                ``(table version, partitioning version)`` pair the snapshot
+                pinned, no matter how many updates committed since.  The
+                result cache is bypassed (its entries are keyed on *current*
+                versions; answering an old view from it, or polluting it
+                with one, would both be stale-serving bugs) — see
+                ``details["cache"]["reason"]``.
         """
         if isinstance(query, str):
             query = parse_paql(query)
@@ -272,14 +296,26 @@ class PackageQueryEngine:
             raise EvaluationError(
                 f"unknown cache mode {cache!r} (expected one of {CACHE_MODES})"
             )
+        if snapshot is not None:
+            if snapshot.released:
+                raise SnapshotError(
+                    "cannot execute against a released snapshot; acquire a new one"
+                )
+            cache = "bypass"
 
-        table = self.database.table(query.relation)
+        table = (
+            snapshot.table(query.relation)
+            if snapshot is not None
+            else self.database.table(query.relation)
+        )
         validate_query(query, table.schema)
-        method, auto_note = self._resolve_method(method, query, partitioning_label)
+        method, auto_note = self._resolve_method(
+            method, query, partitioning_label, snapshot
+        )
         # Staleness is an error even when a cached answer exists: serving it
         # would silently mask the stale partitioning the caller asked about.
         partitioning = (
-            self._partitioning_for(query, partitioning_label)
+            self._partitioning_for(query, partitioning_label, snapshot)
             if method is EvaluationMethod.SKETCH_REFINE
             else None
         )
@@ -287,6 +323,11 @@ class PackageQueryEngine:
         details: dict = {}
         if auto_note is not None:
             details["auto"] = auto_note
+        if snapshot is not None:
+            details["snapshot"] = {
+                "id": snapshot.snapshot_id,
+                "table_version": table.version,
+            }
 
         fingerprint = query_fingerprint(query) if cache != "bypass" else None
         label = partitioning_label if method is EvaluationMethod.SKETCH_REFINE else None
@@ -370,6 +411,8 @@ class PackageQueryEngine:
             }
         else:
             details["cache"] = {"status": "bypass"}
+            if snapshot is not None:
+                details["cache"]["reason"] = "snapshot-pinned view"
         return EvaluationResult(
             package=package,
             query=query,
@@ -383,14 +426,31 @@ class PackageQueryEngine:
     # -- internals ----------------------------------------------------------------------------------
 
     def _resolve_method(
-        self, method: EvaluationMethod, query: PackageQuery, partitioning_label: str
+        self,
+        method: EvaluationMethod,
+        query: PackageQuery,
+        partitioning_label: str,
+        snapshot: SnapshotHandle | None = None,
     ) -> tuple[EvaluationMethod, str | None]:
         """Resolve AUTO to a concrete method, with an explanatory note when it
         has to fall back to DIRECT (missing or stale partitioning)."""
         if method is not EvaluationMethod.AUTO:
             return method, None
-        table = self.database.table(query.relation)
         name = query.relation
+        if snapshot is not None:
+            # A snapshot's pinned partitionings are consistent with the pinned
+            # table by construction, so staleness cannot arise — only absence.
+            table = snapshot.table(name)
+            if table.num_rows <= self.auto_direct_threshold:
+                return EvaluationMethod.DIRECT, None
+            if not snapshot.has_partitioning(name, partitioning_label):
+                return EvaluationMethod.DIRECT, (
+                    f"no partitioning {partitioning_label!r} pinned for table "
+                    f"{name!r} in snapshot {snapshot.snapshot_id}; falling back "
+                    "to DIRECT"
+                )
+            return EvaluationMethod.SKETCH_REFINE, None
+        table = self.database.table(name)
         if table.num_rows <= self.auto_direct_threshold:
             return EvaluationMethod.DIRECT, None
         if not self.database.has_partitioning(name, partitioning_label):
@@ -409,7 +469,21 @@ class PackageQueryEngine:
             )
         return EvaluationMethod.SKETCH_REFINE, None
 
-    def _partitioning_for(self, query: PackageQuery, label: str) -> Partitioning:
+    def _partitioning_for(
+        self,
+        query: PackageQuery,
+        label: str,
+        snapshot: SnapshotHandle | None = None,
+    ) -> Partitioning:
+        if snapshot is not None:
+            try:
+                return snapshot.partitioning(query.relation, label)
+            except SnapshotError as exc:
+                raise EvaluationError(
+                    f"SKETCHREFINE over snapshot {snapshot.snapshot_id} needs a "
+                    f"partitioning {label!r} pinned for table {query.relation!r}; "
+                    "it was missing or stale when the snapshot was acquired"
+                ) from exc
         try:
             partitioning = self.database.partitioning(query.relation, label)
         except CatalogError as exc:

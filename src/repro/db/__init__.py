@@ -8,8 +8,12 @@ It provides:
 * aggregate functions (COUNT, SUM, AVG, MIN, MAX),
 * relational operators (selection, projection, join, group-by, order-by,
   limit) exposed through a fluent :class:`~repro.db.query.QueryBuilder`,
-* hash and sorted indexes, and
-* a :class:`~repro.db.catalog.Database` catalog of named tables.
+* hash and sorted indexes,
+* a :class:`~repro.db.catalog.Database` catalog of named tables — durable
+  through a :class:`~repro.db.wal.WriteAheadLog` of versioned commits
+  (``Database.recover`` replays it after a crash) and readable through
+  pinned :class:`~repro.db.snapshot.SnapshotHandle` views while updates
+  commit underneath.
 """
 
 from repro.db.expressions import (
@@ -27,6 +31,14 @@ from repro.db.aggregates import AggregateFunction, aggregate
 from repro.db.query import QueryBuilder, from_table, group_by, inner_join
 from repro.db.index import HashIndex, SortedIndex
 from repro.db.catalog import Database
+from repro.db.snapshot import PinnedTable, SnapshotHandle, SnapshotManager
+from repro.db.wal import (
+    FileLogStorage,
+    LogStorage,
+    MemoryLogStorage,
+    WalRecord,
+    WriteAheadLog,
+)
 
 __all__ = [
     "Expression",
@@ -47,4 +59,12 @@ __all__ = [
     "HashIndex",
     "SortedIndex",
     "Database",
+    "PinnedTable",
+    "SnapshotHandle",
+    "SnapshotManager",
+    "LogStorage",
+    "FileLogStorage",
+    "MemoryLogStorage",
+    "WalRecord",
+    "WriteAheadLog",
 ]

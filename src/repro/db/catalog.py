@@ -15,6 +15,21 @@ maintaining each registered partitioning (``policy="maintain"``, the default
 and refused by the engine's AUTO method.  :meth:`save`/:meth:`load`
 round-trip the tables *and* every registered partitioning (under
 ``<table>.partitionings/<label>/``) with versions intact.
+
+The catalog is also *durable* and *snapshot-consistent*:
+
+* attach a :class:`~repro.db.wal.WriteAheadLog` and every commit —
+  ``create_table``, ``update_table``, ``drop_table``,
+  ``register_partitioning`` — is fsynced to the log *before* it lands in
+  memory, so :meth:`Database.recover` replays a crashed catalog (tables,
+  partitionings via deterministic :class:`PartitionMaintainer` replay, and
+  registered caches' update subscriptions) onto the exact last committed
+  versions; :meth:`checkpoint` compacts the log into a fresh on-disk
+  snapshot;
+* :meth:`snapshot` pins a consistent ``(table version, partitioning
+  version)`` read view (:class:`~repro.db.snapshot.SnapshotHandle`) that
+  keeps serving the same committed state while later commits proceed
+  underneath — old versions stay alive until the handle is released.
 """
 
 from __future__ import annotations
@@ -23,11 +38,13 @@ import json
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.dataset.io import load_table, save_table
 from repro.dataset.table import Table, TableDelta
-from repro.errors import CatalogError
+from repro.db.snapshot import SnapshotHandle, SnapshotManager
+from repro.db.wal import WalRecord, WriteAheadLog
+from repro.errors import CatalogError, RecoveryError
 from repro.partition.maintenance import MaintenanceStats, PartitionMaintainer
 from repro.partition.partitioning import Partitioning
 
@@ -81,6 +98,9 @@ class Database:
             delta incrementally, ``"stale"`` leaves them at the old version.
         maintainer: The :class:`PartitionMaintainer` used for maintenance
             (default: a fresh one with the partitionings' own partitioners).
+        wal: Optional write-ahead log (or a path one should live at); when
+            attached, every catalog commit is durably logged before it is
+            applied, making :meth:`recover` possible after a crash.
     """
 
     def __init__(
@@ -88,6 +108,7 @@ class Database:
         name: str = "repro",
         maintenance_policy: str = "maintain",
         maintainer: PartitionMaintainer | None = None,
+        wal: WriteAheadLog | str | Path | None = None,
     ):
         if maintenance_policy not in MAINTENANCE_POLICIES:
             raise CatalogError(
@@ -100,6 +121,63 @@ class Database:
         self._tables: dict[str, Table] = {}
         self._partitionings: dict[tuple[str, str], Partitioning] = {}
         self._caches: list = []
+        self._snapshots = SnapshotManager()
+        self._wal: WriteAheadLog | None = None
+        if wal is not None:
+            self.attach_wal(wal)
+
+    # -- durability ---------------------------------------------------------------
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log, if any."""
+        return self._wal
+
+    def attach_wal(self, wal: WriteAheadLog | str | Path) -> WriteAheadLog:
+        """Start logging every commit to ``wal`` (a log or a path for one).
+
+        Attaching does *not* replay existing log content — use
+        :meth:`recover` to reconstruct a crashed catalog.  Attach an empty
+        (or freshly checkpointed) log to a catalog whose state is already
+        durable elsewhere, otherwise recovery would double-apply history.
+        """
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        self._wal = wal
+        return wal
+
+    def detach_wal(self) -> WriteAheadLog | None:
+        """Stop logging commits; returns the previously attached log."""
+        wal, self._wal = self._wal, None
+        return wal
+
+    def _log(self, record: WalRecord) -> None:
+        """Durably commit ``record`` before the in-memory state changes.
+
+        This is the write-ahead discipline's single funnel: when it returns,
+        the record is fsynced; if it raises (storage failure, simulated
+        crash), the in-memory catalog is untouched and the caller's commit
+        never happened.
+        """
+        if self._wal is not None:
+            self._wal.append(record)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self, names: Iterable[str] | None = None) -> SnapshotHandle:
+        """Pin a consistent read view of the current committed state.
+
+        The returned handle keeps serving exactly this moment's
+        ``(table version, partitioning version)`` pairs while later
+        :meth:`update_table` commits proceed; release it (or use it as a
+        context manager) when the reader is done.
+        """
+        return self._snapshots.acquire(self, names)
+
+    @property
+    def snapshots(self) -> SnapshotManager:
+        """The manager tracking this catalog's active snapshot handles."""
+        return self._snapshots
 
     # -- result caches -----------------------------------------------------------
 
@@ -129,16 +207,9 @@ class Database:
     def create_table(self, table: Table, name: str | None = None, replace: bool = False) -> Table:
         """Register ``table`` in the catalog under ``name`` (default: table.name)."""
         table_name = name or table.name
-        if table_name in self._tables:
-            if not replace:
-                raise CatalogError(f"table {table_name!r} already exists")
-            # Out-of-band replacement does not bump versions, so registered
-            # partitionings can no longer be trusted (or even shape-checked)
-            # against the new table: drop them, as drop_table would.  Cached
-            # results are equally untrustworthy.
-            for key in [k for k in self._partitionings if k[0] == table_name]:
-                del self._partitionings[key]
-            self._invalidate_caches(table_name)
+        replacing = table_name in self._tables
+        if replacing and not replace:
+            raise CatalogError(f"table {table_name!r} already exists")
         if name is not None and name != table.name:
             table = Table(
                 table.schema,
@@ -146,6 +217,15 @@ class Database:
                 name=name,
                 version=table.version,
             )
+        self._log(WalRecord.create(table_name, table))
+        if replacing:
+            # Out-of-band replacement does not bump versions, so registered
+            # partitionings can no longer be trusted (or even shape-checked)
+            # against the new table: drop them, as drop_table would.  Cached
+            # results are equally untrustworthy.
+            for key in [k for k in self._partitionings if k[0] == table_name]:
+                del self._partitionings[key]
+            self._invalidate_caches(table_name)
         self._tables[table_name] = table
         return table
 
@@ -162,6 +242,7 @@ class Database:
         """Remove a table and any partitionings built on it."""
         if name not in self._tables:
             raise CatalogError(f"table {name!r} not found")
+        self._log(WalRecord.drop(name))
         del self._tables[name]
         for key in [k for k in self._partitionings if k[0] == name]:
             del self._partitionings[key]
@@ -195,6 +276,12 @@ class Database:
         (``policy="stale"``), where version comparison marks it stale until
         it is rebuilt or re-registered.  ``policy=None`` uses the catalog's
         :attr:`maintenance_policy`.
+
+        With a write-ahead log attached, the delta record is fsynced to the
+        log *after* maintenance succeeds but *before* any in-memory state
+        changes — the append is the commit point.  A crash (or storage
+        failure) before it leaves the catalog untouched; a crash after it is
+        exactly what :meth:`recover` replays.
         """
         policy = self.maintenance_policy if policy is None else policy
         if policy not in MAINTENANCE_POLICIES:
@@ -224,6 +311,7 @@ class Database:
                 result.maintained[label] = stats
             else:
                 result.stale_labels.append(label)
+        self._log(WalRecord.update(name, delta, policy))
         self._tables[name] = new_table
         self._partitionings.update(updated)
         # Commit done: feed the delta (with each label's touched-group set)
@@ -240,6 +328,7 @@ class Database:
         """Associate an offline partitioning with a table under ``label``."""
         if table_name not in self._tables:
             raise CatalogError(f"cannot register partitioning: table {table_name!r} not found")
+        self._log(WalRecord.partition(table_name, label, partitioning))
         self._partitionings[(table_name, label)] = partitioning
 
     def partitioning(self, table_name: str, label: str = "default") -> Partitioning:
@@ -352,6 +441,141 @@ class Database:
                 partitioning = Partitioning.load(label_dir, db.table(table_name))
                 db.register_partitioning(table_name, partitioning, label=label_dir.name)
         return db
+
+    # -- checkpoint / recovery -------------------------------------------------------
+
+    def checkpoint(self, directory: str | Path) -> list[tuple[str, str]]:
+        """Compact the write-ahead log into a fresh on-disk snapshot.
+
+        Persists the current committed state with :meth:`save`, then resets
+        the attached log down to a single ``checkpoint`` marker recording
+        every table's version — replay work after the next crash starts from
+        here instead of the beginning of history.  A crash *during* the
+        checkpoint is safe in both orders: before the log reset, recovery
+        loads the new snapshot and skips the already-absorbed records (their
+        versions lag the snapshot); the reset itself is an atomic replace.
+
+        Returns :meth:`save`'s skipped ``(table, label)`` pairs (stale
+        partitionings that had nothing consistent to persist).  Active
+        snapshot handles are unaffected — they hold their pinned versions in
+        memory regardless of what the log retains.
+        """
+        skipped = self.save(directory)
+        if self._wal is not None:
+            versions = {name: table.version for name, table in self._tables.items()}
+            self._wal.reset([WalRecord.checkpoint(versions)])
+        return skipped
+
+    @classmethod
+    def recover(
+        cls,
+        wal: WriteAheadLog | str | Path,
+        directory: str | Path | None = None,
+        name: str = "repro",
+        caches: Iterable = (),
+    ) -> "Database":
+        """Rebuild the catalog a crashed process left behind.
+
+        Loads the last snapshot from ``directory`` (when given — a catalog
+        that never checkpointed recovers from the log alone), registers
+        ``caches`` so they subscribe to the replayed update stream, then
+        replays every committed log record in order:
+
+        * ``create``/``drop``/``partition`` records reconstruct the catalog
+          shape;
+        * ``update`` records re-run :meth:`update_table` under the logged
+          policy — :class:`PartitionMaintainer` replay is deterministic, so
+          maintained partitionings land bit-identical to the pre-crash state;
+        * records whose versions the snapshot already includes are skipped
+          (the crash fell inside a checkpoint's save/reset window);
+        * a version gap neither of those explains raises
+          :class:`~repro.errors.RecoveryError` — recovery never guesses.
+
+        The returned catalog has the log attached and keeps appending to it,
+        so a second crash recovers the same way.  The log's torn tail (a
+        commit cut short mid-write) was already truncated when ``wal``
+        opened; everything fsynced survives, everything past the last commit
+        point does not — that is the guarantee the crash-injection suite
+        asserts point by point.
+        """
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        if directory is not None and Path(directory).is_dir():
+            db = cls.load(directory, name=name)
+        else:
+            db = cls(name=name)
+        for cache in caches:
+            db.register_cache(cache)
+        for record in wal.records():
+            db._apply_record(record)
+        db._wal = wal
+        return db
+
+    def _apply_record(self, record: WalRecord) -> None:
+        """Replay one committed log record onto the in-memory state."""
+        name = record.table_name
+        if record.kind == "checkpoint":
+            for table_name, version in record.versions.items():
+                if table_name not in self._tables or (
+                    self._tables[table_name].version < version
+                ):
+                    raise RecoveryError(
+                        f"checkpoint marker expects table {table_name!r} at "
+                        f"version {version}, but the loaded snapshot "
+                        + (
+                            f"has it at {self._tables[table_name].version}"
+                            if table_name in self._tables
+                            else "does not contain it"
+                        )
+                        + " — recover from the directory the checkpoint wrote"
+                    )
+        elif record.kind == "create":
+            assert record.table is not None
+            if name in self._tables and (
+                self._tables[name].version >= record.table.version
+            ):
+                return  # snapshot already includes this registration
+            self.create_table(record.table, name=name, replace=True)
+        elif record.kind == "drop":
+            if name in self._tables:
+                self.drop_table(name)
+        elif record.kind == "partition":
+            if name not in self._tables:
+                raise RecoveryError(
+                    f"log registers a partitioning for unknown table {name!r}"
+                )
+            table = self._tables[name]
+            if table.version != record.version:
+                return  # snapshot already carried this partitioning forward
+            assert record.stats is not None and record.attributes is not None
+            partitioning = Partitioning(
+                table,
+                record.group_ids,
+                record.attributes,
+                record.stats,
+                version=record.version,
+                maintenance=record.maintenance,
+            )
+            self.register_partitioning(name, partitioning, label=record.label or "default")
+        elif record.kind == "update":
+            assert record.delta is not None
+            if name not in self._tables:
+                raise RecoveryError(
+                    f"log updates unknown table {name!r} (snapshot and log "
+                    "disagree; was the snapshot directory overwritten?)"
+                )
+            current = self._tables[name].version
+            if current >= record.delta.new_version:
+                return  # snapshot already includes this commit
+            if current != record.delta.base_version:
+                raise RecoveryError(
+                    f"cannot replay table {name!r}: log delta moves version "
+                    f"{record.delta.base_version} -> {record.delta.new_version} "
+                    f"but the recovered table is at {current}"
+                )
+            self.update_table(name, record.delta, policy=record.policy)
+        else:  # pragma: no cover - WalRecord.__post_init__ rejects these
+            raise RecoveryError(f"unknown record kind {record.kind!r}")
 
     def __repr__(self) -> str:
         return f"Database(name={self.name!r}, tables={self.table_names()})"

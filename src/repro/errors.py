@@ -92,6 +92,30 @@ class InfeasiblePackageQueryError(ReproError):
         super().__init__(message)
 
 
+class WalError(ReproError):
+    """A write-ahead-log operation failed (bad record, unwritable storage).
+
+    Torn tails are *not* errors: a log whose final record was cut short by a
+    crash replays cleanly up to the last complete, checksummed record.  This
+    exception covers structural misuse — appending to a closed log, a record
+    that cannot be encoded, storage that refuses to sync.
+    """
+
+
+class RecoveryError(WalError):
+    """Replaying a write-ahead log could not reconstruct a consistent state.
+
+    Raised when the log and the snapshot disagree in a way replay cannot
+    bridge — a delta anchored to a version the snapshot never reached, a
+    checkpoint marker newer than the snapshot on disk.  Recovery never
+    guesses: a gap is an error, not a silent skip.
+    """
+
+
+class SnapshotError(ReproError):
+    """A snapshot handle was misused (released twice, read after release)."""
+
+
 class PartitioningError(ReproError):
     """Offline partitioning failed or was given inconsistent parameters."""
 

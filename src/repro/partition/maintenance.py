@@ -303,3 +303,29 @@ class PartitionMaintainer:
             maintenance=maintenance,
         )
         return result, int(len(violator_gids)), created
+
+
+def partitioning_signature(partitioning: Partitioning) -> dict:
+    """A complete, comparable fingerprint of a partitioning's maintained state.
+
+    Maintenance is deterministic: carrying the same partitioning through the
+    same delta stream — whether live or during write-ahead-log replay after a
+    crash — must land on *identical* state.  This helper makes that claim
+    checkable with one ``==``: it captures the gid assignment, the per-group
+    centroid moments and radii (as raw bytes, so the comparison is bitwise,
+    not tolerance-based), the version, the build stats and the cumulative
+    maintenance profile.
+    """
+    sums, counts = partitioning.group_centroid_moments()
+    timeless = replace(partitioning.maintenance, maintain_seconds=0.0)
+    return {
+        "version": partitioning.version,
+        "num_groups": partitioning.num_groups,
+        "group_ids": partitioning.group_ids.tobytes(),
+        "centroid_sums": sums.tobytes(),
+        "centroid_counts": counts.tobytes(),
+        "radii": partitioning.group_radii_array().tobytes(),
+        "attributes": tuple(partitioning.attributes),
+        "stats": replace(partitioning.stats, build_seconds=0.0),
+        "maintenance": timeless,
+    }

@@ -419,6 +419,19 @@ class Partitioning:
         directory.mkdir(parents=True, exist_ok=True)
         np.save(directory / "group_ids.npy", self.group_ids)
         save_table(self.representatives, directory / "representatives.npz")
+        # Persist the maintained per-group state verbatim.  Recomputing it
+        # from the table at load time is *almost* the same — but incremental
+        # maintenance accumulates centroid sums in a different order (ulp
+        # drift) and keeps conservative radii after deletes, so a recompute
+        # would silently break the bitwise save/load ↔ live equivalence the
+        # crash-recovery suite asserts across checkpoints.
+        sums, counts = self.group_centroid_moments()
+        np.savez(
+            directory / "maintained_state.npz",
+            centroid_sums=sums,
+            centroid_counts=counts,
+            radii=self.group_radii_array(),
+        )
         metadata = {
             "attributes": self.attributes,
             "version": self.version,
@@ -455,6 +468,11 @@ class Partitioning:
             version=metadata.get("version", table.version),
             maintenance=maintenance,
         )
+        state_path = directory / "maintained_state.npz"
+        if state_path.is_file():
+            state = np.load(state_path)
+            partitioning._moments = (state["centroid_sums"], state["centroid_counts"])
+            partitioning._radii = state["radii"]
         # Representatives are recomputed deterministically from the data, so
         # the persisted copy is only used as a consistency check.
         persisted = load_table(directory / "representatives.npz")

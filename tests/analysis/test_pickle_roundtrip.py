@@ -20,6 +20,10 @@ import numpy as np
 import pytest
 
 from repro.analysis.checkers.pickle_safety import PickleSafetyChecker
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.db.catalog import Database
+from repro.db.wal import WalRecord
 from repro.exec.tasks import SolveTask, SolveTaskResult, run_solve_task
 from repro.ilp.branch_and_bound import BranchAndBoundSolver, SolverLimits
 from repro.ilp.lp_backend import LpBackend
@@ -75,6 +79,21 @@ def payload_instances() -> dict[str, Any]:
     )
     task_result = run_solve_task(task)
 
+    # Durable-service payloads: a WAL update record and a pinned snapshot
+    # view of a small live catalog.
+    db = Database()
+    db.create_table(
+        Table(
+            Schema.numeric(["x"]), {"x": np.arange(5, dtype=float)}, name="pickle_guard"
+        )
+    )
+    snapshot = db.snapshot()
+    wal_record = WalRecord.update(
+        "pickle_guard",
+        db.table("pickle_guard").make_delta(insert=[(9.0,)], delete=[0]),
+        "maintain",
+    )
+
     return {
         "SolveTask": task,
         "SolveTaskResult": task_result,
@@ -89,6 +108,9 @@ def payload_instances() -> dict[str, Any]:
         "Solution": solution,
         "BranchAndBoundSolver": solver,
         "SolverLimits": solver.limits,
+        "WalRecord": wal_record,
+        "SnapshotHandle": snapshot,
+        "PinnedTable": snapshot.pins["pickle_guard"],
     }
 
 
@@ -127,6 +149,12 @@ def test_derived_caches_arrive_empty(payload_instances: dict[str, Any]) -> None:
     postsolve: Postsolve = pickle.loads(pickle.dumps(payload_instances["Postsolve"]))
     assert postsolve._node_rows is None
     assert postsolve._cutoff_rows is None
+
+    # A restored snapshot handle is a detached, self-contained view: the
+    # live manager (and through it the whole catalog) never ships.
+    handle = pickle.loads(pickle.dumps(payload_instances["SnapshotHandle"]))
+    assert handle._manager is None
+    assert handle.versions() == payload_instances["SnapshotHandle"].versions()
 
 
 def test_basis_factor_drops_on_pickle(payload_instances: dict[str, Any]) -> None:

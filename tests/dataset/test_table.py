@@ -373,3 +373,72 @@ class TestDeltaMerge:
         assert merged.spans == 6
         assert replayed.version == expected.version == 6
         assert replayed.equals(expected)
+
+    def test_merge_with_empty_delta_is_identity_up_to_spans(self, small_numeric_table):
+        base = small_numeric_table
+        mid, first = base.update_rows(insert=[(6.0, 60.0, 0)], delete=[1])
+        noop_mid, empty = mid.update_rows(delete=[])
+        assert (empty.num_inserted, empty.num_deleted) == (0, 0)
+        # Empty-after: the change is first's, only the version window widens.
+        merged = first.merge(empty)
+        assert merged.spans == 2
+        assert base.apply_delta(merged).equals(noop_mid)
+        # Empty-before: same, anchored one version earlier.
+        noop_base, leading = base.update_rows(delete=[])
+        _, change = noop_base.update_rows(insert=[(6.0, 60.0, 0)], delete=[1])
+        merged = leading.merge(change)
+        assert merged.spans == 2
+        rows = base.apply_delta(merged)
+        assert rows.num_rows == mid.num_rows
+        assert rows.column("a").tolist() == mid.column("a").tolist()
+
+    def test_merge_after_delete_everything(self, small_numeric_table):
+        # The first delta empties the table entirely; the later delta's mask
+        # covers zero rows (shape (0,)) and only inserts.
+        base = small_numeric_table
+        emptied, wipe = base.delete_rows(np.arange(base.num_rows))
+        assert emptied.num_rows == 0
+        final, refill = emptied.append_rows([(8.0, 80.0, 1), (9.0, 90.0, 0)])
+        merged = wipe.merge(refill)
+        assert merged.deleted_mask.all()
+        assert merged.num_inserted == 2
+        replayed = base.apply_delta(merged)
+        assert replayed.equals(final)
+        assert (merged.row_remap() == -1).all()
+
+    def test_merge_where_the_later_delta_deletes_everything(self, small_numeric_table):
+        # Every base row and every row the first delta inserted dies: the
+        # merged delta must be a full wipe with no surviving inserts.
+        base = small_numeric_table
+        mid, first = base.update_rows(insert=[(6.0, 60.0, 0)], delete=[2])
+        final, wipe = mid.delete_rows(np.arange(mid.num_rows))
+        merged = first.merge(wipe)
+        assert merged.deleted_mask.all()
+        assert merged.num_inserted == 0
+        replayed = base.apply_delta(merged)
+        assert replayed.num_rows == 0
+        assert replayed.equals(final)
+
+    def test_merge_chain_that_renumbers_the_row_space(self, small_numeric_table):
+        # Each step deletes the current head row and inserts a new tail row,
+        # so every surviving row's index shifts at every step.  The merged
+        # remap must compose all the shifts at once.
+        base = small_numeric_table
+        expected = base
+        merged = None
+        for step in range(4):
+            expected, delta = expected.update_rows(
+                insert=[(100.0 + step, 0.0, step % 2)], delete=[0]
+            )
+            merged = delta if merged is None else merged.merge(delta)
+        replayed = base.apply_delta(merged)
+        assert replayed.equals(expected)
+        remap = merged.row_remap()
+        # Base rows 0-3 were consumed head-first; only row 4 survives, and it
+        # slid to the front of the new row space.
+        assert remap.tolist() == [-1, -1, -1, -1, 0]
+        assert replayed.row(0) == base.row(4)
+        # Inserts land at the tail while deletes eat the head, so all four
+        # inserted rows survive, in insertion order after the one survivor.
+        assert merged.num_inserted == 4
+        assert replayed.column("a").tolist()[1:] == [100.0, 101.0, 102.0, 103.0]

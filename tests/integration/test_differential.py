@@ -12,7 +12,11 @@ objective.  On each instance the harness asserts:
   must either be real (NAIVE agrees) or carry the paper's
   ``false_negative_possible`` flag;
 * all of the above still holds after interleaved ``update_table`` deltas, and
-  answers served by the result cache equal a ``cache="bypass"`` recompute.
+  answers served by the result cache equal a ``cache="bypass"`` recompute;
+* a crash-and-recover in the middle of an interleaved update/query stream
+  (``test_differential_across_crash_recovery``) lands the catalog bitwise on
+  the last committed version, never serves a stale cached answer, and the
+  full differential keeps holding on the recovered catalog.
 
 A failure is reprintable from its seed alone: the assertion message embeds
 the seed and the generated PaQL text, and
@@ -29,10 +33,13 @@ from repro.core.engine import PackageQueryEngine
 from repro.core.validation import check_package
 from repro.dataset.schema import Schema
 from repro.dataset.table import Table
+from repro.db.catalog import Database
+from repro.db.wal import MemoryLogStorage, WalRecord, WriteAheadLog, encode_record
 from repro.errors import InfeasiblePackageQueryError
 from repro.paql.ast import PackageQuery
 from repro.paql.builder import query_over
 from repro.paql.pretty import format_paql
+from repro.partition.maintenance import partitioning_signature
 
 #: Number of seeded random instances exercised in CI.
 NUM_INSTANCES = 55
@@ -92,16 +99,22 @@ def _objective_or_infeasible(engine: PackageQueryEngine, query, method: str):
     return result.objective, True, None
 
 
-def _context(seed: int, query, phase: str) -> str:
+def _context(seed: int, query, phase: str, test: str = "test_differential") -> str:
     return (
         f"[seed={seed}, {phase}] reproduce with: "
-        f"pytest 'tests/integration/test_differential.py::test_differential[{seed}]'\n"
+        f"pytest 'tests/integration/test_differential.py::{test}[{seed}]'\n"
         f"{format_paql(query)}"
     )
 
 
-def _check_instance(engine: PackageQueryEngine, query, seed: int, phase: str) -> None:
-    context = _context(seed, query, phase)
+def _check_instance(
+    engine: PackageQueryEngine,
+    query,
+    seed: int,
+    phase: str,
+    test: str = "test_differential",
+) -> None:
+    context = _context(seed, query, phase, test)
 
     naive_objective, naive_feasible, _ = _objective_or_infeasible(engine, query, "naive")
     direct_objective, direct_feasible, _ = _objective_or_infeasible(engine, query, "direct")
@@ -224,6 +237,87 @@ def test_differential(seed: int):
         insert, delete = _random_delta(rng, engine.table("diff"))
         engine.update_table("diff", insert=insert, delete=delete)
         _check_instance(engine, query, seed, phase=f"after delta {round_number + 1}")
+
+
+#: Seeds for the crash-recovery differential (a strided subset — each
+#: instance runs the full three-method comparison twice plus a recovery).
+CRASH_RECOVERY_SEEDS = tuple(range(0, NUM_INSTANCES, 3))
+
+
+def _serve_or_infeasible(engine: PackageQueryEngine, query, cache: str):
+    """``(objective, feasible, package_map)`` under the given cache mode."""
+    try:
+        result = engine.execute(query, method="direct", cache=cache)
+    except InfeasiblePackageQueryError:
+        return float("nan"), False, None
+    return result.objective, True, tuple(sorted(result.package.as_multiplicity_map().items()))
+
+
+@pytest.mark.parametrize("seed", CRASH_RECOVERY_SEEDS)
+def test_differential_across_crash_recovery(seed: int):
+    """Interleaved update/query, crash, recover, re-query — never stale.
+
+    The catalog runs on a write-ahead log; the cache is warmed between
+    updates.  The crash keeps only the log's durable bytes — in half the
+    instances with a torn tail of an in-flight, never-fsynced commit
+    appended — and recovery must (a) land tables and partitionings bitwise
+    on the last committed version, (b) serve post-recovery cached answers
+    that equal a bypass recompute, and (c) keep the full NAIVE/DIRECT/
+    SKETCHREFINE differential holding on the recovered catalog.
+    """
+    rng = np.random.default_rng(1_000_003 * (seed + 1) + 13)
+    storage = MemoryLogStorage()
+    engine = PackageQueryEngine(database=Database(wal=WriteAheadLog(storage)))
+    engine.register_table(_random_table(rng), name="diff")
+    engine.build_partitioning("diff", ["a", "b"], size_threshold=4)
+    query = _random_query(rng, engine.table("diff"))
+    context = _context(seed, query, "crash-recover", "test_differential_across_crash_recovery")
+
+    # Interleaved update/query stream, warming the cache along the way.
+    for _ in range(int(rng.integers(1, 3))):
+        insert, delete = _random_delta(rng, engine.table("diff"))
+        engine.update_table("diff", insert=insert, delete=delete)
+        _serve_or_infeasible(engine, query, cache="use")
+
+    # Crash.  Durable log bytes survive; sometimes the crash cut an
+    # in-flight commit short, leaving a torn tail replay must discard.
+    durable = storage.durable
+    if rng.random() < 0.5:
+        in_flight = engine.table("diff").make_delta(insert=[(1.0, 2.0)])
+        frame = encode_record(WalRecord.update("diff", in_flight, "maintain"))
+        durable += frame[: int(rng.integers(1, len(frame)))]
+    surviving_cache = engine.cache
+    recovered = Database.recover(
+        WriteAheadLog(MemoryLogStorage(durable)), caches=[surviving_cache]
+    )
+
+    # (a) Bitwise-exact recovery of the last committed version.
+    assert recovered.table("diff").version == engine.table("diff").version, context
+    assert recovered.table("diff").equals(engine.table("diff")), context
+    assert partitioning_signature(recovered.partitioning("diff")) == (
+        partitioning_signature(engine.database.partitioning("diff"))
+    ), context
+
+    # (b) Whatever the surviving cache serves equals a bypass recompute.
+    restarted = PackageQueryEngine(database=recovered, cache=surviving_cache)
+    served = _serve_or_infeasible(restarted, query, cache="use")
+    fresh = _serve_or_infeasible(restarted, query, cache="bypass")
+    assert served == fresh, (
+        f"{context}\ncache served {served!r} after recovery but bypass says {fresh!r}"
+    )
+
+    # (c) The differential itself still holds, including after further
+    # updates committed by the recovered catalog.
+    _check_instance(
+        restarted, query, seed, phase="post-recovery",
+        test="test_differential_across_crash_recovery",
+    )
+    insert, delete = _random_delta(rng, restarted.table("diff"))
+    restarted.update_table("diff", insert=insert, delete=delete)
+    _check_instance(
+        restarted, query, seed, phase="post-recovery delta",
+        test="test_differential_across_crash_recovery",
+    )
 
 
 def test_harness_runs_enough_instances():
